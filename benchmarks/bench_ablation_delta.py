@@ -1,0 +1,47 @@
+"""Ablation: fast randomized sample-size exponent delta (paper: 0.6 best).
+
+A small delta under-samples (wide pivot band, unsuccessful iterations); a
+large delta over-samples (the parallel sort of the sample dominates). The
+paper settled on 0.6 by experimentation; this bench pins that 0.6 is within
+a small factor of the best exponent on the reproduction's cost model.
+
+Rendered series: ``python -m repro.bench ablation-delta``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+from repro.selection.fast_randomized import FastRandomizedParams
+
+from conftest import bench_point
+
+N = 256 * KILO
+DELTAS = [0.4, 0.6, 0.8]
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_ablation_delta_point(benchmark, delta):
+    result = bench_point(
+        benchmark, "fast_randomized", N, 8, distribution="random",
+        balancer="none", fast_params=FastRandomizedParams(delta=delta),
+        trials=2,
+    )
+    assert result.simulated_time > 0
+
+
+def test_ablation_paper_delta_is_competitive(benchmark):
+    times = {}
+    first = bench_point(
+        benchmark, "fast_randomized", N, 8, distribution="random",
+        balancer="none", fast_params=FastRandomizedParams(delta=0.6),
+        trials=2,
+    )
+    times[0.6] = first.simulated_time
+    for d in (0.4, 0.5, 0.7, 0.8):
+        times[d] = run_point(
+            "fast_randomized", N, 8, distribution="random", balancer="none",
+            fast_params=FastRandomizedParams(delta=d), trials=2,
+        ).simulated_time
+    best = min(times.values())
+    benchmark.extra_info["times_by_delta"] = {str(k): v for k, v in times.items()}
+    assert times[0.6] <= 1.5 * best

@@ -1,0 +1,32 @@
+"""Baseline: selection vs full-sort-then-index (related-work strawman).
+
+The paper's premise — a dedicated O(n/p) selection beats the obvious
+O((n log n)/p) sort-based approach — quantified on the same substrate
+(both use this library's sample sort where they sort at all).
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+N = 256 * KILO
+
+
+@pytest.mark.parametrize("algorithm", ["sort_based", "fast_randomized",
+                                       "randomized"])
+def test_baseline_point(benchmark, algorithm):
+    result = bench_point(benchmark, algorithm, N, 8, distribution="random",
+                         balancer="none")
+    assert result.simulated_time > 0
+
+
+def test_selection_beats_full_sort(benchmark):
+    sort = bench_point(benchmark, "sort_based", N, 8, distribution="random",
+                       balancer="none", trials=2)
+    fast = run_point("fast_randomized", N, 8, distribution="random",
+                     balancer="none", trials=2)
+    ratio = sort.simulated_time / fast.simulated_time
+    benchmark.extra_info["sort_over_fast_randomized"] = ratio
+    assert ratio > 3.0  # selection exists for a reason

@@ -1,0 +1,52 @@
+"""Figure 1: the four selection algorithms on random data.
+
+Paper claims pinned here (n=2M, p=32 in the paper; scaled grid point):
+randomized algorithms beat the deterministic ones by roughly an order of
+magnitude (>=16x for median of medians, >=9x for bucket-based at paper
+scale), and bucket-based beats median of medians by about 2x.
+
+Full grid: ``python -m repro.bench fig1 --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+N = 128 * KILO
+FIG1 = [
+    ("median_of_medians", "global_exchange"),
+    ("bucket_based", "none"),
+    ("randomized", "none"),
+    ("fast_randomized", "none"),
+]
+
+
+@pytest.mark.parametrize("algorithm,balancer", FIG1)
+@pytest.mark.parametrize("p", [4, 16])
+def test_fig1_point(benchmark, algorithm, balancer, p):
+    result = bench_point(
+        benchmark, algorithm, N, p, distribution="random", balancer=balancer
+    )
+    assert result.simulated_time > 0
+
+
+def test_fig1_randomized_order_of_magnitude(benchmark):
+    """The figure's headline: deterministic >> randomized on random data."""
+    rnd = bench_point(benchmark, "randomized", N, 16, distribution="random",
+                      balancer="none")
+    mom = run_point("median_of_medians", N, 16, distribution="random",
+                    balancer="global_exchange")
+    bucket = run_point("bucket_based", N, 16, distribution="random",
+                       balancer="none")
+    benchmark.extra_info["mom_over_randomized"] = (
+        mom.simulated_time / rnd.simulated_time
+    )
+    benchmark.extra_info["bucket_over_randomized"] = (
+        bucket.simulated_time / rnd.simulated_time
+    )
+    assert mom.simulated_time > 5 * rnd.simulated_time
+    assert bucket.simulated_time > 3 * rnd.simulated_time
+    # Bucket-based is the better deterministic algorithm (paper: ~2x).
+    assert bucket.simulated_time < mom.simulated_time

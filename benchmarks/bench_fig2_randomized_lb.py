@@ -1,0 +1,58 @@
+"""Figure 2: randomized selection under the four balancing strategies.
+
+Paper claims pinned: on random data, *no* load balancing beats every
+balancing strategy (claim 4); on sorted data balancing still does not pay
+off for this algorithm (claim 5's first half).
+
+Full grid: ``python -m repro.bench fig2 --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+N = 128 * KILO
+STRATEGIES = ["none", "modified_omlb", "dimension_exchange", "global_exchange"]
+
+
+@pytest.mark.parametrize("balancer", STRATEGIES)
+@pytest.mark.parametrize("distribution", ["random", "sorted"])
+def test_fig2_point(benchmark, balancer, distribution):
+    result = bench_point(
+        benchmark, "randomized", N, 8, distribution=distribution,
+        balancer=balancer,
+    )
+    assert result.simulated_time > 0
+
+
+def test_fig2_no_balancing_wins_on_random(benchmark):
+    # Randomized pivot luck gives large run-to-run variance: average trials
+    # (the paper averaged five data sets for the same reason).
+    base = bench_point(benchmark, "randomized", 256 * KILO, 16,
+                       distribution="random", balancer="none", trials=3)
+    for strategy in STRATEGIES[1:]:
+        balanced = run_point("randomized", 256 * KILO, 16,
+                             distribution="random", balancer=strategy,
+                             trials=3)
+        benchmark.extra_info[f"{strategy}_over_none"] = (
+            balanced.simulated_time / base.simulated_time
+        )
+        assert balanced.simulated_time > base.simulated_time
+
+
+def test_fig2_balancing_does_not_pay_on_sorted(benchmark):
+    # Paper: "Load balancing never improved the running time of randomized
+    # selection" — pinned at the paper's headline grid point (n=2M, p=32),
+    # where the compute term dominates.
+    base = bench_point(benchmark, "randomized", 2048 * KILO, 32,
+                       distribution="sorted", balancer="none", trials=3)
+    for strategy in STRATEGIES[1:]:
+        balanced = run_point("randomized", 2048 * KILO, 32,
+                             distribution="sorted", balancer=strategy,
+                             trials=3)
+        benchmark.extra_info[f"{strategy}_over_none"] = (
+            balanced.simulated_time / base.simulated_time
+        )
+        assert balanced.simulated_time > 0.95 * base.simulated_time

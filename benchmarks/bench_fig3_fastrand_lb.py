@@ -1,0 +1,77 @@
+"""Figure 3: fast randomized selection under the four balancing strategies.
+
+Reproduction note (EXPERIMENTS.md, deviation D1): under the pure two-level
+model with the ``CM5`` calibration, moving one element through the
+transportation primitive costs ``2*mu`` ~ 3.5 partition rescans, while fast
+randomized selection only rescans a surviving element ~1.15x more when it is
+left unbalanced — so the paper's "balancing helps fast randomized on sorted
+data" claim flips sign at paper bandwidth. The claim *does* reproduce under
+the documented ``cm5_fast_network`` calibration (cheap transfers relative to
+compute), which is what the dedicated assertions below pin; under ``CM5``
+we pin the weaker true statement (balanced run within 1.6x).
+
+Full grid: ``python -m repro.bench fig3 --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+from repro.machine.cost_model import cm5_fast_network
+
+from conftest import bench_point
+
+N = 128 * KILO
+STRATEGIES = ["none", "modified_omlb", "dimension_exchange", "global_exchange"]
+
+
+@pytest.mark.parametrize("balancer", STRATEGIES)
+@pytest.mark.parametrize("distribution", ["random", "sorted"])
+def test_fig3_point(benchmark, balancer, distribution):
+    result = bench_point(
+        benchmark, "fast_randomized", N, 8, distribution=distribution,
+        balancer=balancer,
+    )
+    assert result.simulated_time > 0
+
+
+def test_fig3_balancing_helps_on_sorted_fast_network(benchmark):
+    """The paper's claim, reproduced under the fast-network calibration."""
+    model = cm5_fast_network()
+    base = bench_point(benchmark, "fast_randomized", 512 * KILO, 16,
+                       distribution="sorted", balancer="none",
+                       cost_model=model, trials=3)
+    balanced = run_point("fast_randomized", 512 * KILO, 16,
+                         distribution="sorted", balancer="modified_omlb",
+                         cost_model=model, trials=3)
+    benchmark.extra_info["momlb_over_none"] = (
+        balanced.simulated_time / base.simulated_time
+    )
+    assert balanced.simulated_time < base.simulated_time
+
+
+def test_fig3_balancing_not_catastrophic_on_cm5(benchmark):
+    """Under paper bandwidth (CM5) balancing costs at most ~1.6x on sorted
+    data — the transfer-vs-rescan trade documented as deviation D1."""
+    base = bench_point(benchmark, "fast_randomized", 512 * KILO, 16,
+                       distribution="sorted", balancer="none", trials=3)
+    balanced = run_point("fast_randomized", 512 * KILO, 16,
+                         distribution="sorted", balancer="modified_omlb",
+                         trials=3)
+    ratio = balanced.simulated_time / base.simulated_time
+    benchmark.extra_info["momlb_over_none_cm5"] = ratio
+    assert ratio < 1.6
+
+
+def test_fig3_low_variance_with_balancing(benchmark):
+    """Claim 6: with balancing, fast randomized shows little variance
+    between best-case and worst-case inputs (fast-network calibration)."""
+    model = cm5_fast_network()
+    rand_in = bench_point(benchmark, "fast_randomized", N, 8,
+                          distribution="random", balancer="modified_omlb",
+                          cost_model=model, trials=3)
+    sorted_in = run_point("fast_randomized", N, 8, distribution="sorted",
+                          balancer="modified_omlb", cost_model=model,
+                          trials=3)
+    ratio = sorted_in.simulated_time / rand_in.simulated_time
+    benchmark.extra_info["sorted_over_random"] = ratio
+    assert ratio < 1.6

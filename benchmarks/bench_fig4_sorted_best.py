@@ -1,0 +1,40 @@
+"""Figure 4: the two randomized algorithms on sorted (worst-case) data with
+each one's best balancing strategy — none for randomized, modified OMLB for
+fast randomized.
+
+Paper claim pinned: for large n, fast randomized selection is superior on
+sorted data, and its comparative advantage is larger than on random data.
+
+Full grid: ``python -m repro.bench fig4 --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+CONFIGS = [
+    ("randomized", "none"),
+    ("fast_randomized", "modified_omlb"),
+]
+
+
+@pytest.mark.parametrize("algorithm,balancer", CONFIGS)
+@pytest.mark.parametrize("n", [128 * KILO, 512 * KILO])
+def test_fig4_point(benchmark, algorithm, balancer, n):
+    result = bench_point(
+        benchmark, algorithm, n, 8, distribution="sorted", balancer=balancer
+    )
+    assert result.simulated_time > 0
+
+
+def test_fig4_fast_randomized_wins_at_large_n(benchmark):
+    n = 512 * KILO
+    fast = bench_point(benchmark, "fast_randomized", n, 8,
+                       distribution="sorted", balancer="modified_omlb")
+    rnd = run_point("randomized", n, 8, distribution="sorted", balancer="none")
+    benchmark.extra_info["fast_over_randomized"] = (
+        fast.simulated_time / rnd.simulated_time
+    )
+    assert fast.simulated_time < rnd.simulated_time

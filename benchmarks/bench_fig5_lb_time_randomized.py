@@ -1,0 +1,49 @@
+"""Figure 5: time spent inside load balancing for randomized selection
+(bars N/O/D/G in the paper; here the balance share of the simulated time).
+
+Paper claims pinned: on sorted data a *significant fraction* of randomized
+selection's execution time goes to balancing; the choice of balancing
+algorithm makes little difference.
+
+Full grid: ``python -m repro.bench fig5 --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+N = 256 * KILO
+STRATEGIES = ["modified_omlb", "dimension_exchange", "global_exchange"]
+
+
+@pytest.mark.parametrize("balancer", STRATEGIES)
+@pytest.mark.parametrize("distribution", ["random", "sorted"])
+def test_fig5_point(benchmark, balancer, distribution):
+    result = bench_point(
+        benchmark, "randomized", N, 8, distribution=distribution,
+        balancer=balancer,
+    )
+    assert 0 < result.balance_time < result.simulated_time
+
+
+def test_fig5_sorted_balance_share_significant(benchmark):
+    result = bench_point(benchmark, "randomized", N, 8, distribution="sorted",
+                         balancer="global_exchange")
+    share = result.balance_time / result.simulated_time
+    benchmark.extra_info["balance_share"] = share
+    assert share > 0.15  # "a significant fraction"
+
+
+def test_fig5_strategy_choice_minor(benchmark):
+    times = {}
+    first = bench_point(benchmark, "randomized", N, 8, distribution="sorted",
+                        balancer=STRATEGIES[0])
+    times[STRATEGIES[0]] = first.simulated_time
+    for s in STRATEGIES[1:]:
+        times[s] = run_point("randomized", N, 8, distribution="sorted",
+                             balancer=s).simulated_time
+    spread = max(times.values()) / min(times.values())
+    benchmark.extra_info["strategy_spread"] = spread
+    assert spread < 2.0  # "did not make a significant difference"

@@ -1,0 +1,40 @@
+"""Figure 6: time spent inside load balancing for fast randomized selection.
+
+Paper claim pinned: fast randomized selection spends much less time
+balancing than randomized selection — it invokes the balancer O(log log n)
+times instead of O(log n) times and carries less data per iteration.
+
+Full grid: ``python -m repro.bench fig6 --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+N = 256 * KILO
+STRATEGIES = ["modified_omlb", "dimension_exchange", "global_exchange"]
+
+
+@pytest.mark.parametrize("balancer", STRATEGIES)
+@pytest.mark.parametrize("distribution", ["random", "sorted"])
+def test_fig6_point(benchmark, balancer, distribution):
+    result = bench_point(
+        benchmark, "fast_randomized", N, 8, distribution=distribution,
+        balancer=balancer,
+    )
+    assert 0 < result.balance_time < result.simulated_time
+
+
+def test_fig6_fast_balances_less_than_randomized(benchmark):
+    fast = bench_point(benchmark, "fast_randomized", N, 8,
+                       distribution="sorted", balancer="global_exchange")
+    rnd = run_point("randomized", N, 8, distribution="sorted",
+                    balancer="global_exchange")
+    benchmark.extra_info["fast_balance_s"] = fast.balance_time
+    benchmark.extra_info["randomized_balance_s"] = rnd.balance_time
+    benchmark.extra_info["fast_lb_invocations"] = fast.iterations
+    benchmark.extra_info["randomized_lb_invocations"] = rnd.iterations
+    assert fast.balance_time < rnd.balance_time
+    assert fast.iterations < rnd.iterations  # O(log log n) vs O(log n)

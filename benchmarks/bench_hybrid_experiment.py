@@ -1,0 +1,40 @@
+"""Section 5 hybrid experiment: deterministic parallel skeletons with
+randomized sequential local parts.
+
+Paper claim pinned: the hybrids land strictly between their deterministic
+parents and the fully randomized algorithm — most of the deterministic
+slowdown at large n is the sequential constant.
+
+Rendered series: ``python -m repro.bench hybrid``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+N = 128 * KILO
+
+
+@pytest.mark.parametrize("algorithm,balancer", [
+    ("hybrid_median_of_medians", "global_exchange"),
+    ("hybrid_bucket_based", "none"),
+])
+def test_hybrid_point(benchmark, algorithm, balancer):
+    result = bench_point(benchmark, algorithm, N, 8, distribution="random",
+                         balancer=balancer)
+    assert result.simulated_time > 0
+
+
+def test_hybrid_sits_between_parents(benchmark):
+    hybrid = bench_point(benchmark, "hybrid_median_of_medians", N, 8,
+                         distribution="random", balancer="global_exchange")
+    mom = run_point("median_of_medians", N, 8, distribution="random",
+                    balancer="global_exchange")
+    rnd = run_point("randomized", N, 8, distribution="random",
+                    balancer="none")
+    benchmark.extra_info["randomized_s"] = rnd.simulated_time
+    benchmark.extra_info["hybrid_s"] = hybrid.simulated_time
+    benchmark.extra_info["mom_s"] = mom.simulated_time
+    assert rnd.simulated_time < hybrid.simulated_time < mom.simulated_time

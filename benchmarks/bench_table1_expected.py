@@ -1,0 +1,47 @@
+"""Table 1: expected running times with balanced loads — empirical scaling.
+
+The dominant term for every algorithm is O(n/p): quadrupling n at fixed p on
+random data must grow simulated time by roughly 4x (communication terms only
+grow with log n, so the observed factor sits below ~6 and above ~2).
+
+Rendered table + checks: ``python -m repro.bench table1``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+CONFIGS = [
+    ("median_of_medians", "global_exchange"),
+    ("randomized", "none"),
+    ("fast_randomized", "none"),
+]
+
+
+@pytest.mark.parametrize("algorithm,balancer", CONFIGS)
+def test_table1_linear_growth_in_n(benchmark, algorithm, balancer):
+    # Quadruple n at fixed p in the compute-dominated regime (n/p >= 32k):
+    # the O(n/p) term must dominate, growth factor ~4 (slack for the
+    # log-factor comm terms and randomized pivot luck).
+    small = run_point(algorithm, 256 * KILO, 8, distribution="random",
+                      balancer=balancer, trials=3)
+    large = bench_point(benchmark, algorithm, 1024 * KILO, 8,
+                        distribution="random", balancer=balancer, trials=3)
+    ratio = large.simulated_time / small.simulated_time
+    benchmark.extra_info["n_scaling_factor"] = ratio
+    assert 1.8 < ratio < 6.5
+
+
+@pytest.mark.parametrize("algorithm,balancer", CONFIGS)
+def test_table1_p_scaling_reduces_time(benchmark, algorithm, balancer):
+    # At fixed n the n/p term dominates: p 4 -> 16 should cut time clearly.
+    big_p = bench_point(benchmark, algorithm, 256 * KILO, 16,
+                        distribution="random", balancer=balancer)
+    small_p = run_point(algorithm, 256 * KILO, 4, distribution="random",
+                        balancer=balancer)
+    benchmark.extra_info["speedup_4_to_16"] = (
+        small_p.simulated_time / big_p.simulated_time
+    )
+    assert big_p.simulated_time < small_p.simulated_time

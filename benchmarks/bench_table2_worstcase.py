@@ -1,0 +1,59 @@
+"""Table 2: worst-case running times without load balancing.
+
+Sorted input without balancing concentrates the survivors on ever fewer
+processors: the compute term picks up the paper's extra log n factor for
+randomized selection (t grows super-linearly vs the balanced/random case)
+while fast randomized selection — O(n/p log log n) — degrades much less.
+
+Rendered table + checks: ``python -m repro.bench table2``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+from conftest import bench_point
+
+
+def test_table2_randomized_sorted_penalty(benchmark):
+    """Paper Section 5: randomized selection runs 2-2.5x slower on sorted
+    data than on random data (no balancing)."""
+    # Paper: 2-2.5x at CM-5 scale; pinned at n=2M, p=32 where the
+    # compute term dominates (smaller grids dilute the penalty with
+    # latency terms).
+    sorted_in = bench_point(benchmark, "randomized", 2048 * KILO, 32,
+                            distribution="sorted", balancer="none", trials=3)
+    random_in = run_point("randomized", 2048 * KILO, 32,
+                          distribution="random", balancer="none", trials=3)
+    ratio = sorted_in.simulated_time / random_in.simulated_time
+    benchmark.extra_info["sorted_over_random"] = ratio
+    assert 1.4 < ratio < 5.0
+
+
+def test_table2_fast_randomized_degrades_less(benchmark):
+    fast_sorted = bench_point(benchmark, "fast_randomized", 2048 * KILO, 32,
+                              distribution="sorted", balancer="none",
+                              trials=3)
+    fast_random = run_point("fast_randomized", 2048 * KILO, 32,
+                            distribution="random", balancer="none", trials=3)
+    rnd_sorted = run_point("randomized", 2048 * KILO, 32,
+                           distribution="sorted", balancer="none", trials=3)
+    rnd_random = run_point("randomized", 2048 * KILO, 32,
+                           distribution="random", balancer="none", trials=3)
+    fast_penalty = fast_sorted.simulated_time / fast_random.simulated_time
+    rnd_penalty = rnd_sorted.simulated_time / rnd_random.simulated_time
+    benchmark.extra_info["fast_penalty"] = fast_penalty
+    benchmark.extra_info["randomized_penalty"] = rnd_penalty
+    assert fast_penalty < rnd_penalty
+
+
+def test_table2_bucket_beats_mom_without_lb_on_sorted(benchmark):
+    """Bucket-based avoids rebalancing entirely yet stays within ~1.5x of
+    MoM+LB on sorted data (paper: about 25% slower at CM-5 scale)."""
+    bucket = bench_point(benchmark, "bucket_based", 128 * KILO, 8,
+                         distribution="sorted", balancer="none")
+    mom = run_point("median_of_medians", 128 * KILO, 8,
+                    distribution="sorted", balancer="global_exchange")
+    ratio = bucket.simulated_time / mom.simulated_time
+    benchmark.extra_info["bucket_over_mom"] = ratio
+    assert ratio < 1.6

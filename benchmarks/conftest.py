@@ -1,0 +1,48 @@
+"""Shared helpers for the per-figure benchmark modules.
+
+Each benchmark runs one grid point of the corresponding paper figure under
+pytest-benchmark (wall seconds of the simulation) and attaches the simulated
+metrics — the paper-comparable numbers — via ``benchmark.extra_info``.
+
+The full Section 5 grid is intentionally *not* run here (it belongs to the
+CLI: ``python -m repro.bench <fig> --scale paper``); these modules pin a
+representative subset per figure plus the figure's qualitative claim as an
+assertion, so ``pytest benchmarks/ --benchmark-only`` is a regression gate
+for both performance plumbing and reproduction shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import KILO, run_point
+
+__all__ = ["KILO", "bench_point"]
+
+
+def bench_point(benchmark, algorithm, n, p, **kwargs):
+    """Run one grid point under pytest-benchmark; returns the PointResult."""
+    result = benchmark.pedantic(
+        run_point,
+        args=(algorithm, n, p),
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["distribution"] = kwargs.get("distribution", "random")
+    benchmark.extra_info["balancer"] = kwargs.get("balancer", "none")
+    benchmark.extra_info["simulated_time_s"] = result.simulated_time
+    benchmark.extra_info["balance_time_s"] = result.balance_time
+    benchmark.extra_info["iterations"] = result.iterations
+    return result
+
+
+@pytest.fixture
+def point_runner(benchmark):
+    def _run(algorithm, n, p, **kwargs):
+        return bench_point(benchmark, algorithm, n, p, **kwargs)
+
+    return _run

@@ -1,0 +1,7 @@
+"""Legacy shim: this environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) fall back to ``setup.py develop``
+via ``--no-use-pep517``. All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

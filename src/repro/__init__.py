@@ -1,0 +1,69 @@
+"""repro — Practical Algorithms for Selection on Coarse-Grained Parallel
+Computers (Al-Furaih, Aluru, Goil & Ranka; IPPS 1996), reproduced in Python.
+
+The package provides:
+
+* :class:`repro.Machine` / :class:`repro.DistributedArray` — a simulated
+  coarse-grained distributed-memory machine under the paper's two-level
+  (``tau``/``mu``) cost model, with data genuinely distributed and moved;
+* :func:`repro.select` / :func:`repro.median` — the paper's four parallel
+  selection algorithms (median of medians, bucket-based, randomized, fast
+  randomized) plus the Section 5 hybrids;
+* :func:`repro.rebalance` — the paper's load balancers (order maintaining,
+  modified order maintaining, dimension exchange, global exchange);
+* :mod:`repro.bench` — a harness regenerating every table and figure of the
+  paper's evaluation.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from .core.api import (
+    DistributedArray,
+    Machine,
+    SelectionReport,
+    median,
+    quantiles,
+    rebalance,
+    select,
+)
+from .errors import (
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    ReproError,
+    WorkerAborted,
+    WorkerError,
+)
+from .machine.cost_model import (
+    CM5,
+    ComputeCosts,
+    CostModel,
+    cm5,
+    cm5_fast_network,
+    zero_cost_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistributedArray",
+    "Machine",
+    "SelectionReport",
+    "median",
+    "quantiles",
+    "rebalance",
+    "select",
+    "CommunicationError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "ReproError",
+    "WorkerAborted",
+    "WorkerError",
+    "CM5",
+    "ComputeCosts",
+    "CostModel",
+    "cm5",
+    "cm5_fast_network",
+    "zero_cost_model",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Dynamic load balancing algorithms (paper Section 4).
+
+Four strategies, all usable by any selection algorithm (or standalone):
+
+============================  =======  ======================================
+Registry name                 Figure   Paper section
+============================  =======  ======================================
+``none``                      N        baseline (no balancing)
+``omlb``                      —        4.1 order maintaining (unmodified)
+``modified_omlb``             O        4.1 modified order maintaining
+``dimension_exchange``        D        4.2 dimension exchange (Cybenko)
+``global_exchange``           G        4.3 global exchange
+============================  =======  ======================================
+"""
+
+from .base import (
+    BALANCERS,
+    Balancer,
+    NoBalance,
+    TransferPlan,
+    get_balancer,
+    target_counts,
+)
+from .dimension_exchange import DimensionExchange
+from .global_exchange import GlobalExchange
+from .metrics import ImbalanceStats, imbalance_stats
+from .modified_omlb import ModifiedOMLB, interval_matching_plan
+from .omlb import OrderMaintainingBalance
+
+__all__ = [
+    "BALANCERS",
+    "Balancer",
+    "NoBalance",
+    "TransferPlan",
+    "get_balancer",
+    "target_counts",
+    "DimensionExchange",
+    "GlobalExchange",
+    "ImbalanceStats",
+    "imbalance_stats",
+    "ModifiedOMLB",
+    "interval_matching_plan",
+    "OrderMaintainingBalance",
+]

@@ -1,0 +1,157 @@
+"""Load-balancer interface and registry (paper Section 4).
+
+A balancer is a *collective*: every rank calls
+``rebalance(ctx, kernels, arr)`` with its local array; all ranks return new
+local arrays holding the same global multiset, with per-rank counts equal to
+the block-distribution targets (``ceil(n/p)`` on the first ``n mod p`` ranks,
+``floor(n/p)`` elsewhere) — the paper's ``n_avg``.
+
+All time spent inside a balancer (its collectives, its transfers, its local
+bookkeeping) is attributed to the clock's *balance* categories so Figures
+5-6 (load-balancing time vs total time) can be regenerated.
+
+The transfer step of every balancer is one invocation of the transportation
+primitive (:meth:`Comm.alltoallv`), which is how the paper costs the
+redistribution; dimension exchange instead performs its ``log p`` pairwise
+rounds, also per the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..kernels.costed import CostedKernels
+from ..machine.engine import ProcContext
+
+__all__ = ["Balancer", "NoBalance", "TransferPlan", "get_balancer", "BALANCERS",
+           "target_counts"]
+
+
+def target_counts(n: int, p: int) -> np.ndarray:
+    """Per-rank post-balance counts: the paper's ``n_avg`` with remainder
+    spread over the lowest ranks."""
+    base, extra = divmod(int(n), int(p))
+    counts = np.full(p, base, dtype=np.int64)
+    counts[:extra] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """A send matrix row for one rank: how many elements go to each peer.
+
+    ``send_counts[d]`` elements leave for rank ``d``; the plan also records
+    diagnostics the paper analyses (message counts, words moved).
+    """
+
+    send_counts: np.ndarray
+    owner: int = -1
+
+    @property
+    def messages(self) -> int:
+        """Off-rank destinations receiving at least one element."""
+        n = int(np.count_nonzero(self.send_counts))
+        if 0 <= self.owner < self.send_counts.size and self.send_counts[self.owner]:
+            n -= 1
+        return n
+
+    @property
+    def words(self) -> int:
+        return int(self.send_counts.sum())
+
+
+class Balancer(abc.ABC):
+    """Base class: handles section attribution and the common invariants."""
+
+    #: Registry key and report label.
+    name: str = "abstract"
+    #: Paper figure letter (N/O/D/G) used in Figures 5-6 bar labels.
+    letter: str = "?"
+
+    def rebalance(
+        self, ctx: ProcContext, kernels: CostedKernels, arr: np.ndarray
+    ) -> np.ndarray:
+        """Collectively redistribute ``arr`` towards perfect balance."""
+        with ctx.balance_section():
+            return self._rebalance(ctx, kernels, arr)
+
+    @abc.abstractmethod
+    def _rebalance(
+        self, ctx: ProcContext, kernels: CostedKernels, arr: np.ndarray
+    ) -> np.ndarray:
+        ...
+
+    # Shared helper: execute a send plan through the transportation primitive.
+    @staticmethod
+    def _execute_plan(
+        ctx: ProcContext, arr_to_send: np.ndarray, plan: TransferPlan,
+        keep: np.ndarray,
+    ) -> np.ndarray:
+        """Slice ``arr_to_send`` by ``plan`` and run one alltoallv.
+
+        ``keep`` is the part of the local array that stays; outgoing slices
+        are cut from ``arr_to_send`` in destination order. Received payloads
+        are concatenated in source order after ``keep``.
+        """
+        p = ctx.size
+        sends: list[np.ndarray | None] = [None] * p
+        offset = 0
+        for d in range(p):
+            c = int(plan.send_counts[d])
+            if c <= 0:
+                continue
+            sends[d] = arr_to_send[offset: offset + c]
+            offset += c
+        if offset != arr_to_send.size:
+            raise ConfigurationError(
+                f"rank {ctx.rank}: transfer plan covers {offset} of "
+                f"{arr_to_send.size} outgoing elements"
+            )
+        received = ctx.comm.alltoallv(sends)
+        parts = [keep] + [r for r in received if r is not None and r.size]
+        return np.concatenate(parts) if len(parts) > 1 else keep.copy()
+
+
+class NoBalance(Balancer):
+    """The paper's "no load balancing" baseline (label N)."""
+
+    name = "none"
+    letter = "N"
+
+    def rebalance(self, ctx, kernels, arr):  # no section: truly free
+        return arr
+
+    def _rebalance(self, ctx, kernels, arr):  # pragma: no cover - unused
+        return arr
+
+
+BALANCERS: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    BALANCERS[cls.name] = cls
+    return cls
+
+
+register(NoBalance)
+
+
+def get_balancer(name_or_instance) -> Balancer:
+    """Resolve a balancer from a registry name, class, instance or ``None``."""
+    if name_or_instance is None:
+        return NoBalance()
+    if isinstance(name_or_instance, Balancer):
+        return name_or_instance
+    if isinstance(name_or_instance, type) and issubclass(name_or_instance, Balancer):
+        return name_or_instance()
+    try:
+        return BALANCERS[name_or_instance]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown balancer {name_or_instance!r}; available: "
+            f"{sorted(BALANCERS)}"
+        ) from None

@@ -1,0 +1,55 @@
+"""Dimension Exchange Method (paper Section 4.2, Algorithm 6; Cybenko [11]).
+
+``log2 p`` rounds; in round ``j`` ranks differing in bit ``j`` pair up,
+exchange their element counts, and the heavier partner ships its surplus
+(``n_i - ceil((n_i + n_l)/2)`` elements, cut from the tail) to the lighter
+one. On a power-of-two machine every aligned block of ``2^(j+1)`` ranks holds
+an equal share after round ``j`` (up to ceil rounding), so the final global
+imbalance is at most ``log2 p`` elements — exact balance is *not* guaranteed,
+which the paper accepts ("eventually leads to global load balance").
+
+Non-power-of-two machines use the enclosing virtual hypercube: ranks whose
+partner does not exist sit the round out (DESIGN.md deviation #2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.costed import CostedKernels
+from ..machine.engine import ProcContext
+from ..machine.topology import hypercube_dimensions, hypercube_partner
+from .base import Balancer, register
+
+__all__ = ["DimensionExchange"]
+
+
+@register
+class DimensionExchange(Balancer):
+    name = "dimension_exchange"
+    letter = "D"
+
+    def _rebalance(
+        self, ctx: ProcContext, kernels: CostedKernels, arr: np.ndarray
+    ) -> np.ndarray:
+        p = ctx.size
+        for dim in range(hypercube_dimensions(p)):
+            partner = hypercube_partner(ctx.rank, dim, p)
+            if partner is None:
+                # Participate in both collective rounds without payload.
+                ctx.comm.pairwise_exchange(None, None)
+                ctx.comm.pairwise_exchange(None, None)
+                continue
+            ni = int(arr.size)
+            nl = int(ctx.comm.pairwise_exchange(partner, ni))
+            high = (ni + nl + 1) // 2  # paper's navg = ceil((ni+nl)/2)
+            if ni > high:
+                outgoing, arr = arr[high:], arr[:high]
+                incoming = ctx.comm.pairwise_exchange(partner, outgoing)
+                assert incoming is None, "both sides of a pair sent data"
+            else:
+                incoming = ctx.comm.pairwise_exchange(partner, None)
+                if incoming is not None and incoming.size:
+                    kernels.scan_pass(incoming.size)  # append copy
+                    arr = np.concatenate([arr, incoming])
+        return arr

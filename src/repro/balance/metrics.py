@@ -1,0 +1,50 @@
+"""Imbalance diagnostics used by tests, examples and the bench reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ImbalanceStats", "imbalance_stats"]
+
+
+@dataclass(frozen=True)
+class ImbalanceStats:
+    """Summary of a per-rank count vector."""
+
+    n: int
+    p: int
+    max_count: int
+    min_count: int
+    mean: float
+    stddev: float
+
+    @property
+    def spread(self) -> int:
+        """``n_max - n_min`` — 0 or 1 after a perfect balancer."""
+        return self.max_count - self.min_count
+
+    @property
+    def ratio(self) -> float:
+        """``n_max / n_avg`` — the factor by which the slowest rank is
+        overloaded (>= 1.0; 1.0 is perfect)."""
+        return self.max_count / self.mean if self.mean else 1.0
+
+    def is_balanced(self, slack: int = 1) -> bool:
+        return self.spread <= slack
+
+
+def imbalance_stats(counts) -> ImbalanceStats:
+    """Compute :class:`ImbalanceStats` from an iterable of per-rank counts."""
+    arr = np.asarray(list(counts), dtype=np.int64)
+    if arr.size == 0:
+        return ImbalanceStats(0, 0, 0, 0, 0.0, 0.0)
+    return ImbalanceStats(
+        n=int(arr.sum()),
+        p=int(arr.size),
+        max_count=int(arr.max()),
+        min_count=int(arr.min()),
+        mean=float(arr.mean()),
+        stddev=float(arr.std()),
+    )

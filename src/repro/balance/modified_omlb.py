@@ -1,0 +1,89 @@
+"""Modified Order Maintaining Load Balance (paper Section 4.1, Algorithm 5).
+
+Selection does not care about element order, so the modified algorithm stops
+shifting whole blocks around: every processor *retains* ``min(n_i, n_avg)``
+of its own elements; only the surplus moves. Surplus elements on source
+processors and deficits on sink processors are each ranked by a prefix
+operation (in processor order), and surplus interval ``[a, b)`` in
+surplus-space is shipped to the sinks covering ``[a, b)`` in deficit-space.
+
+Worst case per the paper: ``O(p)`` messages per processor,
+``(n_max - n_avg)`` elements sent, ``n_avg`` received.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.costed import CostedKernels
+from ..machine.engine import ProcContext
+from .base import Balancer, TransferPlan, register, target_counts
+
+__all__ = ["ModifiedOMLB", "interval_matching_plan"]
+
+
+def interval_matching_plan(
+    rank: int,
+    diffs: np.ndarray,
+    src_order: np.ndarray,
+    snk_order: np.ndarray,
+) -> TransferPlan:
+    """Send counts for ``rank`` when surpluses meet deficits interval-wise.
+
+    ``src_order``/``snk_order`` fix the order in which source surpluses and
+    sink deficits are laid out in the shared matching space (processor order
+    for modified OMLB, size-sorted order for global exchange). Returns a
+    zero plan for non-source ranks.
+    """
+    p = diffs.size
+    send_counts = np.zeros(p, dtype=np.int64)
+    my_diff = int(diffs[rank])
+    if my_diff <= 0:
+        return TransferPlan(send_counts=send_counts, owner=rank)
+    # Surplus-space offsets in src_order.
+    src_sizes = np.maximum(diffs[src_order], 0)
+    src_starts = np.concatenate([[0], np.cumsum(src_sizes)])
+    my_pos = int(np.flatnonzero(src_order == rank)[0])
+    a, b = int(src_starts[my_pos]), int(src_starts[my_pos + 1])
+    # Deficit-space offsets in snk_order.
+    snk_sizes = np.maximum(-diffs[snk_order], 0)
+    snk_starts = np.concatenate([[0], np.cumsum(snk_sizes)])
+    # Walk the sinks overlapping [a, b).
+    j = int(np.searchsorted(snk_starts, a, side="right")) - 1
+    pos = a
+    while pos < b and j < snk_order.size:
+        take = min(b, int(snk_starts[j + 1])) - pos
+        if take > 0:
+            send_counts[int(snk_order[j])] += take
+            pos += take
+        j += 1
+    assert pos == b, "surplus not fully matched to deficits"
+    return TransferPlan(send_counts=send_counts, owner=rank)
+
+
+@register
+class ModifiedOMLB(Balancer):
+    name = "modified_omlb"
+    letter = "O"
+
+    def _rebalance(
+        self, ctx: ProcContext, kernels: CostedKernels, arr: np.ndarray
+    ) -> np.ndarray:
+        p = ctx.size
+        counts = np.array(ctx.comm.global_concat(int(arr.size)), dtype=np.int64)
+        n = int(counts.sum())
+        if n == 0:
+            return arr
+        targets = target_counts(n, p)
+        diffs = counts - targets
+        kernels.scan_pass(p)
+        if not np.any(diffs):
+            # Already balanced: skip the (empty) transportation round — the
+            # Global Concatenate above already paid for detecting this.
+            return arr
+
+        order = np.arange(p)  # processor order on both sides
+        plan = interval_matching_plan(ctx.rank, diffs, order, order)
+        retain = min(int(arr.size), int(targets[ctx.rank]))
+        keep, surplus = arr[:retain], arr[retain:]
+        return self._execute_plan(ctx, surplus, plan, keep=keep)

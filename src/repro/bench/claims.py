@@ -1,0 +1,200 @@
+"""Executable claims checklist: the paper's Section 5 conclusions as code.
+
+``python -m repro.bench claims`` evaluates each qualitative claim of the
+paper at the grid points EXPERIMENTS.md documents and prints a verdict
+table. This centralises what the per-figure benches pin piecemeal; it is
+the one-command answer to "does the reproduction still hold?".
+
+Claims needing the paper's headline point (n=2M, p=32) take a few minutes;
+``quick=True`` (the CLI's default scale != paper) shrinks n while keeping
+each claim in its valid regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..machine.cost_model import cm5_fast_network
+from .figures import FigureResult
+from .harness import KILO, run_point
+
+__all__ = ["run_claims", "Claim", "CLAIMS"]
+
+
+@dataclass
+class Claim:
+    """One paper claim with an executable check returning (ok, evidence)."""
+
+    cid: str
+    text: str
+    check: Callable[[bool], tuple[bool, str]]
+
+
+def _headline(quick: bool) -> tuple[int, int, int]:
+    """(n, p, trials) for claims that live at the paper's headline point."""
+    return (512 * KILO, 16, 2) if quick else (2048 * KILO, 32, 3)
+
+
+def _c_order_of_magnitude(quick: bool):
+    n, p, t = _headline(quick)
+    mom = run_point("median_of_medians", n, p, balancer="global_exchange",
+                    trials=max(1, t - 1))
+    bucket = run_point("bucket_based", n, p, balancer="none",
+                       trials=max(1, t - 1))
+    rnd = run_point("randomized", n, p, balancer="none", trials=t)
+    mom_x = mom.simulated_time / rnd.simulated_time
+    b_x = bucket.simulated_time / rnd.simulated_time
+    ok = mom_x > 8 and b_x > 4 and bucket.simulated_time < mom.simulated_time
+    return ok, (f"MoM/randomized = {mom_x:.1f}x, bucket/randomized = "
+                f"{b_x:.1f}x (n={n // KILO}k, p={p})")
+
+
+def _c_crossover(quick: bool):
+    n_small = 128 * KILO
+    n_big = 512 * KILO if quick else 2048 * KILO
+    fast_small = run_point("fast_randomized", n_small, 64, trials=2)
+    rnd_small = run_point("randomized", n_small, 64, trials=2)
+    fast_big = run_point("fast_randomized", n_big, 4, trials=2)
+    rnd_big = run_point("randomized", n_big, 4, trials=2)
+    ok = (rnd_small.simulated_time < fast_small.simulated_time
+          and fast_big.simulated_time < rnd_big.simulated_time)
+    return ok, (f"large p (p=64, n=128k): randomized wins "
+                f"({rnd_small.simulated_time * 1e3:.0f} vs "
+                f"{fast_small.simulated_time * 1e3:.0f} ms); large n "
+                f"(n={n_big // KILO}k, p=4): fast wins "
+                f"({fast_big.simulated_time * 1e3:.0f} vs "
+                f"{rnd_big.simulated_time * 1e3:.0f} ms)")
+
+
+def _c_lb_never_helps_randomized_random(quick: bool):
+    n, p = (256 * KILO, 16)
+    base = run_point("randomized", n, p, balancer="none", trials=3)
+    worst = min(
+        run_point("randomized", n, p, balancer=s, trials=3).simulated_time
+        for s in ("modified_omlb", "dimension_exchange", "global_exchange")
+    )
+    ok = worst > base.simulated_time
+    return ok, (f"best balanced {worst * 1e3:.1f} ms vs none "
+                f"{base.simulated_time * 1e3:.1f} ms (n=256k, p=16)")
+
+
+def _c_lb_unprofitable_randomized_sorted(quick: bool):
+    n, p, t = _headline(quick)
+    base = run_point("randomized", n, p, distribution="sorted",
+                     balancer="none", trials=t)
+    best = min(
+        run_point("randomized", n, p, distribution="sorted", balancer=s,
+                  trials=t).simulated_time
+        for s in ("modified_omlb", "global_exchange")
+    )
+    ok = best > 0.95 * base.simulated_time
+    return ok, (f"best balanced {best * 1e3:.0f} ms vs none "
+                f"{base.simulated_time * 1e3:.0f} ms")
+
+
+def _c_sorted_penalty(quick: bool):
+    n, p, t = _headline(quick)
+    srt = run_point("randomized", n, p, distribution="sorted",
+                    balancer="none", trials=t)
+    rnd = run_point("randomized", n, p, distribution="random",
+                    balancer="none", trials=t)
+    ratio = srt.simulated_time / rnd.simulated_time
+    return 1.4 < ratio < 4.0, f"sorted/random = {ratio:.2f}x (paper: 2-2.5x)"
+
+
+def _c_fast_low_variance(quick: bool):
+    n, p, t = _headline(quick)
+    srt = run_point("fast_randomized", n, p, distribution="sorted",
+                    balancer="none", trials=t)
+    rnd = run_point("fast_randomized", n, p, distribution="random",
+                    balancer="none", trials=t)
+    f_pen = srt.simulated_time / rnd.simulated_time
+    r_pen_ok, r_detail = _c_sorted_penalty(quick)
+    return f_pen < 1.9, f"fast sorted/random = {f_pen:.2f}x ({r_detail})"
+
+
+def _c_hybrid_between(quick: bool):
+    n, p, _ = _headline(quick)
+    mom = run_point("median_of_medians", n, p, balancer="global_exchange")
+    hyb = run_point("hybrid_median_of_medians", n, p,
+                    balancer="global_exchange")
+    rnd = run_point("randomized", n, p, balancer="none", trials=2)
+    ok = rnd.simulated_time < hyb.simulated_time < mom.simulated_time
+    return ok, (f"randomized {rnd.simulated_time * 1e3:.0f} < hybrid "
+                f"{hyb.simulated_time * 1e3:.0f} < MoM "
+                f"{mom.simulated_time * 1e3:.0f} ms")
+
+
+def _c_fast_balances_less(quick: bool):
+    n, p, t = _headline(quick)
+    fast = run_point("fast_randomized", n, p, distribution="sorted",
+                     balancer="global_exchange", trials=t)
+    rnd = run_point("randomized", n, p, distribution="sorted",
+                    balancer="global_exchange", trials=t)
+    ok = fast.balance_time < rnd.balance_time and fast.iterations < rnd.iterations
+    return ok, (f"balance time {fast.balance_time * 1e3:.0f} vs "
+                f"{rnd.balance_time * 1e3:.0f} ms; invocations "
+                f"{fast.iterations:.0f} vs {rnd.iterations:.0f}")
+
+
+def _c_d1_fastnet(quick: bool):
+    model = cm5_fast_network()
+    n, p = (512 * KILO, 16)
+    base = run_point("fast_randomized", n, p, distribution="sorted",
+                     balancer="none", cost_model=model, trials=3)
+    bal = run_point("fast_randomized", n, p, distribution="sorted",
+                    balancer="modified_omlb", cost_model=model, trials=3)
+    ok = bal.simulated_time < base.simulated_time
+    return ok, (f"[cm5_fast_network] momlb {bal.simulated_time * 1e3:.0f} ms"
+                f" vs none {base.simulated_time * 1e3:.0f} ms")
+
+
+def _c_selection_beats_sort(quick: bool):
+    n, p = (256 * KILO, 8)
+    srt = run_point("sort_based", n, p, trials=2)
+    fast = run_point("fast_randomized", n, p, trials=2)
+    ratio = srt.simulated_time / fast.simulated_time
+    return ratio > 3.0, f"full sort + index = {ratio:.1f}x fast randomized"
+
+
+CLAIMS: list[Claim] = [
+    Claim("C1", "randomized algorithms beat deterministic by an order of "
+                "magnitude; bucket-based beats median of medians",
+          _c_order_of_magnitude),
+    Claim("C2", "crossover: large n favours fast randomized, large p "
+                "favours randomized", _c_crossover),
+    Claim("C3", "load balancing never helps randomized selection on random "
+                "data", _c_lb_never_helps_randomized_random),
+    Claim("C4", "load balancing does not pay for randomized selection on "
+                "sorted data", _c_lb_unprofitable_randomized_sorted),
+    Claim("C5", "randomized selection ~2x slower on sorted vs random data",
+          _c_sorted_penalty),
+    Claim("C6", "fast randomized has low variance across input orders",
+          _c_fast_low_variance),
+    Claim("C7", "hybrids sit between deterministic parents and randomized",
+          _c_hybrid_between),
+    Claim("C8", "fast randomized spends much less time balancing "
+                "(O(log log n) vs O(log n) invocations)",
+          _c_fast_balances_less),
+    Claim("D1", "balancing helps fast randomized on sorted data "
+                "(reproduces under cm5_fast_network; see EXPERIMENTS.md)",
+          _c_d1_fastnet),
+    Claim("B1", "dedicated selection beats sort-then-index", _c_selection_beats_sort),
+]
+
+
+def run_claims(scale: str = "small") -> FigureResult:
+    """Evaluate every claim; quick grid unless ``scale == 'paper'``."""
+    quick = scale != "paper"
+    lines = [f"== Paper claims checklist (grid: "
+             f"{'quick' if quick else 'paper headline'}) =="]
+    all_ok = True
+    for claim in CLAIMS:
+        ok, evidence = claim.check(quick)
+        all_ok &= ok
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim.cid}: {claim.text}")
+        lines.append(f"         {evidence}")
+    lines.append(f"\n  overall: {'ALL CLAIMS HOLD' if all_ok else 'SEE FAILURES'}")
+    return FigureResult("claims", "Paper claims checklist",
+                        "\n".join(lines) + "\n", [])

@@ -1,0 +1,74 @@
+"""Command line harness: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.bench fig1 --scale paper
+    python -m repro.bench all --scale small --out results/
+    repro-bench fig5 --scale half
+
+Prints the same rows/series the paper's figures plot (simulated seconds on
+the calibrated CM5 cost model) and optionally writes per-experiment CSVs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .figures import EXPERIMENTS, SCALES, run_experiment
+from .report import write_csv
+
+__all__ = ["main"]
+
+ALL_IDS = ["table1", "table2", "claims"] + sorted(EXPERIMENTS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Reproduce the evaluation of 'Practical Algorithms for Selection "
+            "on Coarse-Grained Parallel Computers' (IPPS 1996)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=ALL_IDS + ["all"],
+        help="experiment id (DESIGN.md experiment index) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="grid size: small (quick), half, paper (full Section 5 grid)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for CSV export (one file per experiment)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    ids = ALL_IDS if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        result = run_experiment(exp_id, scale=args.scale)
+        dt = time.perf_counter() - t0
+        print(result.text)
+        print(f"[{exp_id}] {len(result.points)} grid points in {dt:.1f}s "
+              f"(scale={args.scale})\n")
+        if args.out is not None and result.points:
+            path = write_csv(args.out / f"{exp_id}_{args.scale}.csv",
+                             result.points)
+            print(f"[{exp_id}] wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

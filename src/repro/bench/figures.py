@@ -1,0 +1,323 @@
+"""Experiment definitions: one entry per table/figure of the paper's
+evaluation (the experiment index of DESIGN.md Section 3).
+
+Every experiment is parameterised by a *scale*:
+
+* ``small`` — quick shapes check (CI-friendly, < a minute);
+* ``half``  — intermediate grid;
+* ``paper`` — the full Section 5 grid: n in {128k, 512k, 2M}, p in
+  {2,...,128}, random and sorted inputs, random points averaged over
+  multiple data sets.
+
+Each runner returns a :class:`FigureResult` whose ``text`` holds the same
+rows/series the paper's figure plots and whose ``points`` feed the CSV
+export and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..selection.fast_randomized import FastRandomizedParams
+from .harness import KILO, PointResult, run_point, run_series
+from .report import render_bar_rows, render_series_table
+
+__all__ = ["FigureResult", "EXPERIMENTS", "SCALES", "run_experiment"]
+
+
+SCALES: dict[str, dict] = {
+    "small": dict(
+        n_list=[32 * KILO, 128 * KILO],
+        p_sweep=[2, 4, 8, 16],
+        bar_p_sweep=[4, 8, 16],
+        trials=1,
+        n_big=128 * KILO,
+    ),
+    "half": dict(
+        n_list=[128 * KILO, 512 * KILO],
+        p_sweep=[2, 4, 8, 16, 32, 64],
+        bar_p_sweep=[4, 8, 16, 32, 64],
+        trials=1,
+        n_big=512 * KILO,
+    ),
+    "paper": dict(
+        n_list=[128 * KILO, 512 * KILO, 2048 * KILO],
+        p_sweep=[2, 4, 8, 16, 32, 64, 128],
+        bar_p_sweep=[4, 8, 16, 32, 64, 128],
+        trials=2,
+        n_big=2048 * KILO,
+    ),
+}
+
+#: The four algorithms of Figure 1 with the paper's balancer pairing
+#: (median of medians requires balancing; the others run without).
+FIG1_ALGOS = [
+    ("median_of_medians", "global_exchange"),
+    ("bucket_based", "none"),
+    ("randomized", "none"),
+    ("fast_randomized", "none"),
+]
+
+#: Figures 2-3/5-6 strategy grid with the paper's bar labels.
+LB_GRID = [
+    ("none", "N"),
+    ("modified_omlb", "O"),
+    ("dimension_exchange", "D"),
+    ("global_exchange", "G"),
+]
+
+
+@dataclass
+class FigureResult:
+    exp_id: str
+    title: str
+    text: str
+    points: list[PointResult] = field(default_factory=list)
+
+
+def _scale(scale: str) -> dict:
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; options: {sorted(SCALES)}") from None
+
+
+# --------------------------------------------------------------------- fig1
+
+def fig1(scale: str = "small") -> FigureResult:
+    """Figure 1: the four selection algorithms on random data (no LB except
+    median of medians + global exchange), one panel per n, plus the paper's
+    randomized-only zoom panels."""
+    cfg = _scale(scale)
+    text = []
+    points: list[PointResult] = []
+    for n in cfg["n_list"]:
+        series: dict[str, list[PointResult]] = {}
+        for algo, bal in FIG1_ALGOS:
+            pts = run_series(
+                algo, n, cfg["p_sweep"], distribution="random", balancer=bal,
+                trials=cfg["trials"],
+            )
+            series[algo] = pts
+            points.extend(pts)
+        text.append(render_series_table(
+            f"Figure 1 panel: n={n // KILO}k, random data", series
+        ))
+        zoom = {k: v for k, v in series.items()
+                if k in ("randomized", "fast_randomized")}
+        text.append(render_series_table(
+            f"Figure 1 zoom: n={n // KILO}k (randomized algorithms only)", zoom
+        ))
+    return FigureResult("fig1", "Selection algorithms on random data",
+                        "\n".join(text), points)
+
+
+# ---------------------------------------------------------------- fig2/fig3
+
+def _lb_figure(exp_id: str, algo: str, scale: str) -> FigureResult:
+    cfg = _scale(scale)
+    text = []
+    points: list[PointResult] = []
+    n_list = cfg["n_list"][-2:]  # the paper uses 512k and 2M panels
+    for dist in ("random", "sorted"):
+        for n in n_list:
+            series: dict[str, list[PointResult]] = {}
+            for bal, _letter in LB_GRID:
+                pts = run_series(
+                    algo, n, cfg["p_sweep"], distribution=dist, balancer=bal,
+                    trials=cfg["trials"] if dist == "random" else 1,
+                )
+                series[bal] = pts
+                points.extend(pts)
+            text.append(render_series_table(
+                f"{exp_id}: {algo}, {dist} data, n={n // KILO}k "
+                f"(balancing strategies)", series
+            ))
+    title = f"{algo} under the four load-balancing strategies"
+    return FigureResult(exp_id, title, "\n".join(text), points)
+
+
+def fig2(scale: str = "small") -> FigureResult:
+    """Figure 2: randomized selection x {N, O, D, G} on random and sorted."""
+    return _lb_figure("fig2", "randomized", scale)
+
+
+def fig3(scale: str = "small") -> FigureResult:
+    """Figure 3: fast randomized selection x {N, O, D, G}."""
+    return _lb_figure("fig3", "fast_randomized", scale)
+
+
+# --------------------------------------------------------------------- fig4
+
+def fig4(scale: str = "small") -> FigureResult:
+    """Figure 4: the two randomized algorithms on sorted data with each
+    one's best balancing strategy (none vs modified OMLB)."""
+    cfg = _scale(scale)
+    text = []
+    points: list[PointResult] = []
+    for n in cfg["n_list"][-2:]:
+        series = {
+            "randomized (no LB)": run_series(
+                "randomized", n, cfg["p_sweep"], distribution="sorted",
+                balancer="none",
+            ),
+            "fast_randomized (mod OMLB)": run_series(
+                "fast_randomized", n, cfg["p_sweep"], distribution="sorted",
+                balancer="modified_omlb",
+            ),
+        }
+        for pts in series.values():
+            points.extend(pts)
+        text.append(render_series_table(
+            f"Figure 4: sorted data, n={n // KILO}k, best LB per algorithm",
+            series,
+        ))
+    return FigureResult("fig4", "Randomized algorithms on sorted data",
+                        "\n".join(text), points)
+
+
+# ---------------------------------------------------------------- fig5/fig6
+
+def _lb_time_figure(exp_id: str, algo: str, scale: str) -> FigureResult:
+    cfg = _scale(scale)
+    text = []
+    points: list[PointResult] = []
+    n = cfg["n_big"]
+    for dist in ("random", "sorted"):
+        rows: list[PointResult] = []
+        for p in cfg["bar_p_sweep"]:
+            for bal, _letter in LB_GRID:
+                pt = run_point(
+                    algo, n, p, distribution=dist, balancer=bal,
+                    trials=1,
+                )
+                rows.append(pt)
+                points.append(pt)
+        text.append(render_bar_rows(
+            f"{exp_id}: {algo}, {dist} data, n={n // KILO}k — total vs "
+            f"load-balancing time", rows
+        ))
+    return FigureResult(exp_id, f"{algo}: load balancing time share",
+                        "\n".join(text), points)
+
+
+def fig5(scale: str = "small") -> FigureResult:
+    """Figure 5: randomized selection — total and LB time bars (N/O/D/G)."""
+    return _lb_time_figure("fig5", "randomized", scale)
+
+
+def fig6(scale: str = "small") -> FigureResult:
+    """Figure 6: fast randomized — total and LB time bars (N/O/D/G)."""
+    return _lb_time_figure("fig6", "fast_randomized", scale)
+
+
+# ------------------------------------------------------------------- hybrid
+
+def hybrid(scale: str = "small") -> FigureResult:
+    """Section 5 hybrid experiment: deterministic algorithms with randomized
+    sequential parts land between their parents and the randomized ones."""
+    cfg = _scale(scale)
+    n = cfg["n_big"]
+    series = {}
+    points: list[PointResult] = []
+    for algo, bal in [
+        ("median_of_medians", "global_exchange"),
+        ("hybrid_median_of_medians", "global_exchange"),
+        ("bucket_based", "none"),
+        ("hybrid_bucket_based", "none"),
+        ("randomized", "none"),
+    ]:
+        pts = run_series(algo, n, cfg["p_sweep"], distribution="random",
+                         balancer=bal, trials=cfg["trials"])
+        series[algo] = pts
+        points.extend(pts)
+    text = render_series_table(
+        f"Hybrid experiment: n={n // KILO}k, random data", series
+    )
+    return FigureResult("hybrid", "Hybrid deterministic/randomized experiment",
+                        text, points)
+
+
+# ---------------------------------------------------------------- ablations
+
+def ablation_delta(scale: str = "small") -> FigureResult:
+    """Sample-size exponent sweep for fast randomized selection (the paper
+    reports delta = 0.6 as the practical optimum)."""
+    cfg = _scale(scale)
+    n = cfg["n_big"]
+    series = {}
+    points: list[PointResult] = []
+    for delta in (0.4, 0.5, 0.6, 0.7, 0.8):
+        pts = run_series(
+            "fast_randomized", n, cfg["p_sweep"], distribution="random",
+            balancer="none", trials=cfg["trials"],
+            fast_params=FastRandomizedParams(delta=delta),
+        )
+        series[f"delta={delta}"] = pts
+        points.extend(pts)
+    text = render_series_table(
+        f"Ablation: fast randomized sample exponent, n={n // KILO}k", series
+    )
+    return FigureResult("ablation-delta", "Sample exponent ablation", text,
+                        points)
+
+
+def ablation_partition(scale: str = "small") -> FigureResult:
+    """3-way vs 2-way partitioning on duplicate-heavy inputs: iteration
+    counts stay bounded under the 3-way rule (DESIGN.md deviation #1)."""
+    cfg = _scale(scale)
+    n = min(cfg["n_big"], 512 * KILO)
+    rows = []
+    points: list[PointResult] = []
+    for dist in ("few_distinct", "all_equal", "zipf", "random"):
+        pt = run_point("randomized", n, 8, distribution=dist, balancer="none")
+        points.append(pt)
+        rows.append(
+            f"  {dist:>14s}: iterations={pt.iterations:5.1f}  "
+            f"simulated={pt.simulated_time * 1e3:9.2f} ms"
+        )
+    text = (
+        f"== Ablation: duplicate-heavy inputs, randomized selection, "
+        f"n={n // KILO}k, p=8 ==\n"
+        "3-way partitioning terminates in O(log n) iterations on every\n"
+        "distribution; the paper's 2-way (<=, >) rule livelocks once all\n"
+        "live keys equal the pivot (all_equal would never terminate).\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("ablation-partition", "Duplicate termination ablation",
+                        text, points)
+
+
+EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "hybrid": hybrid,
+    "ablation-delta": ablation_delta,
+    "ablation-partition": ablation_partition,
+}
+
+
+def run_experiment(exp_id: str, scale: str = "small") -> FigureResult:
+    """Run one experiment by id (tables live in :mod:`repro.bench.tables`,
+    the claims checklist in :mod:`repro.bench.claims`)."""
+    if exp_id in ("table1", "table2"):
+        from .tables import table1, table2
+
+        return table1(scale) if exp_id == "table1" else table2(scale)
+    if exp_id == "claims":
+        from .claims import run_claims
+
+        return run_claims(scale)
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; options: "
+            f"{sorted(EXPERIMENTS) + ['table1', 'table2', 'claims']}"
+        ) from None
+    return runner(scale)

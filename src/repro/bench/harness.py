@@ -1,0 +1,128 @@
+"""Experiment harness: run one (algorithm, balancer, workload, n, p) point of
+the paper's evaluation grid and collect the metrics the figures plot.
+
+The paper averages each random-data point over five different random data
+sets "to eliminate peculiar cases"; :func:`run_point` does the same
+(``trials`` parameter, default taken from the scale).
+
+Simulated seconds are the headline metric; wall seconds of the simulation
+are recorded for pytest-benchmark. ``impl_override="introselect"`` keeps the
+wall cost of the *deterministic* algorithms' huge grids tolerable without
+changing any simulated number (see SelectionConfig.impl_override).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..core.api import Machine, select
+from ..errors import ConfigurationError
+from ..kernels.select import median_rank
+from ..machine.cost_model import CM5, CostModel
+from ..selection.fast_randomized import FastRandomizedParams
+
+__all__ = ["PointResult", "run_point", "run_series", "PAPER_P_SWEEP", "KILO"]
+
+KILO = 1024
+#: The paper's processor sweep (Section 5).
+PAPER_P_SWEEP = [2, 4, 8, 16, 32, 64, 128]
+
+
+@dataclass
+class PointResult:
+    """One grid point, averaged over trials."""
+
+    algorithm: str
+    balancer: str
+    distribution: str
+    n: int
+    p: int
+    simulated_time: float
+    balance_time: float
+    wall_time: float
+    iterations: float
+    trials: int
+    simulated_times: list[float] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.algorithm}/{self.balancer}/{self.distribution}/"
+            f"n={self.n}/p={self.p}"
+        )
+
+    def as_row(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "balancer": self.balancer,
+            "distribution": self.distribution,
+            "n": self.n,
+            "p": self.p,
+            "simulated_time_s": self.simulated_time,
+            "balance_time_s": self.balance_time,
+            "wall_time_s": self.wall_time,
+            "iterations": self.iterations,
+            "trials": self.trials,
+        }
+
+
+def run_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    distribution: str = "random",
+    balancer: str = "none",
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+    fast_params: FastRandomizedParams | None = None,
+    k: int | None = None,
+) -> PointResult:
+    """Run one figure grid point (median selection unless ``k`` given)."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    machine = Machine(n_procs=p, cost_model=cost_model or CM5)
+    sims: list[float] = []
+    bals: list[float] = []
+    walls: list[float] = []
+    iters: list[int] = []
+    for t in range(trials):
+        data = machine.generate(n, distribution=distribution, seed=seed + 1000 * t)
+        rep = select(
+            data,
+            k if k is not None else median_rank(n),
+            algorithm=algorithm,
+            balancer=balancer,
+            seed=seed + t,
+            impl_override=impl_override,
+            fast_params=fast_params,
+        )
+        sims.append(rep.simulated_time)
+        bals.append(rep.balance_time)
+        walls.append(rep.wall_time)
+        iters.append(rep.stats.n_iterations)
+    return PointResult(
+        algorithm=algorithm,
+        balancer=balancer,
+        distribution=distribution,
+        n=n,
+        p=p,
+        simulated_time=statistics.mean(sims),
+        balance_time=statistics.mean(bals),
+        wall_time=statistics.mean(walls),
+        iterations=statistics.mean(iters),
+        trials=trials,
+        simulated_times=sims,
+    )
+
+
+def run_series(
+    algorithm: str,
+    n: int,
+    p_sweep: list[int],
+    **kwargs,
+) -> list[PointResult]:
+    """One curve of a figure: fixed everything, sweep p."""
+    return [run_point(algorithm, n, p, **kwargs) for p in p_sweep]

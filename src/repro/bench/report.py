@@ -1,0 +1,80 @@
+"""Rendering of experiment results: aligned ASCII series (the textual
+equivalent of the paper's plots), CSV export, and markdown fragments for
+EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from .harness import PointResult
+
+__all__ = ["render_series_table", "render_bar_rows", "write_csv", "fmt_time"]
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-scale simulated time (the paper's axes are seconds)."""
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s"
+    return f"{seconds * 1e3:8.2f} ms"
+
+
+def render_series_table(
+    title: str,
+    series: dict[str, list[PointResult]],
+    metric: str = "simulated_time",
+) -> str:
+    """One figure panel: rows = p values, one column per labelled series.
+
+    This is the same data the paper plots as time-vs-processors curves.
+    """
+    out = io.StringIO()
+    p_values = sorted({pt.p for pts in series.values() for pt in pts})
+    labels = list(series)
+    out.write(f"== {title} ==\n")
+    header = "  p  " + "".join(f"{lab:>26s}" for lab in labels)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for p in p_values:
+        row = [f"{p:4d} "]
+        for lab in labels:
+            match = [pt for pt in series[lab] if pt.p == p]
+            if match:
+                row.append(f"{fmt_time(getattr(match[0], metric)):>26s}")
+            else:
+                row.append(f"{'—':>26s}")
+        out.write("".join(row) + "\n")
+    return out.getvalue()
+
+
+def render_bar_rows(
+    title: str, points: Sequence[PointResult]
+) -> str:
+    """Figures 5-6 style: total time with the load-balancing share, one row
+    per (p, strategy)."""
+    out = io.StringIO()
+    out.write(f"== {title} ==\n")
+    out.write(
+        f"{'p':>4s} {'strategy':>18s} {'total':>12s} {'balance':>12s}"
+        f" {'balance %':>10s}\n"
+    )
+    for pt in points:
+        share = 100.0 * pt.balance_time / pt.simulated_time if pt.simulated_time else 0
+        out.write(
+            f"{pt.p:4d} {pt.balancer:>18s} {fmt_time(pt.simulated_time):>12s}"
+            f" {fmt_time(pt.balance_time):>12s} {share:9.1f}%\n"
+        )
+    return out.getvalue()
+
+
+def write_csv(path: str | Path, points: Sequence[PointResult]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = [pt.as_row() for pt in points]
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

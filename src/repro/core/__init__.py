@@ -1,0 +1,21 @@
+"""Public API surface of the reproduction (see :mod:`repro.core.api`)."""
+
+from .api import (
+    DistributedArray,
+    Machine,
+    SelectionReport,
+    median,
+    quantiles,
+    rebalance,
+    select,
+)
+
+__all__ = [
+    "DistributedArray",
+    "Machine",
+    "SelectionReport",
+    "median",
+    "quantiles",
+    "rebalance",
+    "select",
+]

@@ -1,0 +1,305 @@
+"""Public API: :class:`Machine`, :class:`DistributedArray`, :func:`select`,
+:func:`median`, :func:`rebalance`.
+
+Quickstart::
+
+    import repro
+
+    machine = repro.Machine(n_procs=32)
+    data = machine.generate(1 << 21, distribution="random", seed=7)
+    report = repro.median(data)
+    print(report.value, report.simulated_time, report.stats.n_iterations)
+
+The API is deliberately small: a :class:`Machine` owns the simulated
+processor count and cost model; a :class:`DistributedArray` is the data laid
+out across its processors; :func:`select` runs any of the paper's algorithms
+and returns a :class:`SelectionReport` with the answer, the simulated-time
+breakdown, and per-iteration statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..balance.base import Balancer, get_balancer
+from ..balance.metrics import ImbalanceStats, imbalance_stats
+from ..data.generators import generate_shards, shard_sizes
+from ..errors import ConfigurationError
+from ..kernels.costed import CostedKernels
+from ..kernels.select import median_rank
+from ..machine.clock import TimeBreakdown
+from ..machine.cost_model import CM5, CostModel
+from ..machine.engine import SPMDResult, SPMDRuntime
+from ..selection import ALGORITHMS, SelectionConfig, SelectionStats
+from ..selection.fast_randomized import FastRandomizedParams
+
+__all__ = [
+    "Machine",
+    "DistributedArray",
+    "SelectionReport",
+    "select",
+    "median",
+    "quantiles",
+    "rebalance",
+]
+
+
+class Machine:
+    """A simulated coarse-grained machine: ``p`` processors + a cost model."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        cost_model: CostModel | None = None,
+        trace: bool = False,
+    ):
+        self.runtime = SPMDRuntime(
+            n_procs, cost_model=cost_model if cost_model is not None else CM5,
+            trace=trace,
+        )
+
+    @property
+    def n_procs(self) -> int:
+        return self.runtime.n_procs
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.runtime.cost_model
+
+    # ------------------------------------------------------------- data in
+
+    def distribute(self, data: np.ndarray) -> "DistributedArray":
+        """Block-distribute a host array over the processors."""
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise ConfigurationError("distribute expects a 1-D array")
+        sizes = shard_sizes(data.size, self.n_procs)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        shards = [
+            data[offsets[r]: offsets[r + 1]].copy() for r in range(self.n_procs)
+        ]
+        return DistributedArray(self, shards)
+
+    def from_shards(self, shards: Sequence[np.ndarray]) -> "DistributedArray":
+        """Adopt externally-prepared per-processor shards."""
+        if len(shards) != self.n_procs:
+            raise ConfigurationError(
+                f"need exactly {self.n_procs} shards, got {len(shards)}"
+            )
+        return DistributedArray(self, [np.asarray(s) for s in shards])
+
+    def generate(
+        self, n: int, distribution: str = "random", seed: int = 0
+    ) -> "DistributedArray":
+        """Generate one of the named workloads directly in distributed form."""
+        return DistributedArray(
+            self, generate_shards(n, self.n_procs, distribution, seed)
+        )
+
+    def run(self, fn, rank_args=None, args=(), kwargs=None) -> SPMDResult:
+        """Escape hatch: run a raw SPMD program on this machine."""
+        return self.runtime.run(fn, rank_args=rank_args, args=args, kwargs=kwargs)
+
+
+@dataclass
+class DistributedArray:
+    """A 1-D array block-distributed over a machine's processors."""
+
+    machine: Machine
+    shards: list[np.ndarray]
+
+    @property
+    def n(self) -> int:
+        return int(sum(s.size for s in self.shards))
+
+    @property
+    def p(self) -> int:
+        return self.machine.n_procs
+
+    @property
+    def counts(self) -> list[int]:
+        return [int(s.size) for s in self.shards]
+
+    def imbalance(self) -> ImbalanceStats:
+        return imbalance_stats(self.counts)
+
+    def gather(self) -> np.ndarray:
+        """Materialise the full array on the host (tests/examples only)."""
+        live = [s for s in self.shards if s.size]
+        return np.concatenate(live) if live else np.array([])
+
+    def __len__(self) -> int:
+        return self.n
+
+
+@dataclass
+class SelectionReport:
+    """Everything a run of :func:`select` produced."""
+
+    value: object
+    k: int
+    n: int
+    p: int
+    algorithm: str
+    balancer: str
+    simulated_time: float
+    wall_time: float
+    breakdown: TimeBreakdown
+    stats: SelectionStats
+    result: SPMDResult = field(repr=False, default=None)
+
+    @property
+    def balance_time(self) -> float:
+        """Simulated seconds spent load balancing (max across ranks)."""
+        return self.result.balance_time if self.result else self.breakdown.balance
+
+
+def _resolve_config(
+    algorithm: str,
+    balancer,
+    seed: int,
+    sequential_method: str | None,
+    endgame_threshold: int | None,
+    max_iterations: int | None,
+    impl_override: str | None = None,
+) -> tuple[object, SelectionConfig, str]:
+    try:
+        fn, default_seq, needs_balance = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    if balancer == "default":
+        # Paper defaults: MoM requires balancing (its figures use global
+        # exchange); everything else runs without.
+        balancer_obj: Balancer = get_balancer(
+            "global_exchange" if needs_balance else None
+        )
+    else:
+        balancer_obj = get_balancer(balancer)
+    cfg = SelectionConfig(
+        balancer=balancer_obj,
+        sequential_method=sequential_method or default_seq,
+        seed=seed,
+        endgame_threshold=endgame_threshold,
+        max_iterations=max_iterations,
+        impl_override=impl_override,
+    )
+    return fn, cfg, type(balancer_obj).__name__
+
+
+def select(
+    data: DistributedArray,
+    k: int,
+    algorithm: str = "fast_randomized",
+    balancer="default",
+    seed: int = 0,
+    sequential_method: str | None = None,
+    endgame_threshold: int | None = None,
+    max_iterations: int | None = None,
+    fast_params: FastRandomizedParams | None = None,
+    impl_override: str | None = None,
+) -> SelectionReport:
+    """Find the key of global rank ``k`` (1-based) in ``data``.
+
+    Parameters
+    ----------
+    data:
+        The distributed input (left untouched: shards are copied before the
+        algorithms shrink them).
+    k:
+        Target rank, ``1 <= k <= len(data)``.
+    algorithm:
+        One of :data:`repro.selection.ALGORITHMS`.
+    balancer:
+        Load balancing strategy name (``"none"``, ``"omlb"``,
+        ``"modified_omlb"``, ``"dimension_exchange"``, ``"global_exchange"``)
+        or ``"default"`` for the paper's pairing.
+    seed:
+        Drives every stochastic choice; equal seeds give bit-identical runs
+        (values *and* simulated times).
+
+    Returns
+    -------
+    SelectionReport
+    """
+    fn, cfg, balancer_name = _resolve_config(
+        algorithm, balancer, seed, sequential_method, endgame_threshold,
+        max_iterations, impl_override,
+    )
+    extra: tuple = ()
+    if algorithm == "fast_randomized" and fast_params is not None:
+        extra = (fast_params,)
+
+    def program(ctx, shard, target_k, config):
+        return fn(ctx, shard.copy(), target_k, config, *extra)
+
+    result = data.machine.run(
+        program,
+        rank_args=[(s,) for s in data.shards],
+        args=(k, cfg),
+    )
+    values = [v[0] for v in result.values]
+    stats: SelectionStats = result.values[0][1]
+    first = values[0]
+    assert all(v == first for v in values), "ranks disagree on the answer"
+    return SelectionReport(
+        value=first,
+        k=k,
+        n=data.n,
+        p=data.p,
+        algorithm=algorithm,
+        balancer=balancer_name,
+        simulated_time=result.simulated_time,
+        wall_time=result.wall_time,
+        breakdown=result.breakdown,
+        stats=stats,
+        result=result,
+    )
+
+
+def median(data: DistributedArray, **kwargs) -> SelectionReport:
+    """The paper's flagship special case: rank ``ceil(n/2)`` selection."""
+    return select(data, median_rank(data.n), **kwargs)
+
+
+def quantiles(
+    data: DistributedArray, qs: Sequence[float], **kwargs
+) -> list[SelectionReport]:
+    """Exact quantiles via repeated selection (the paper's statistics
+    motivation).
+
+    ``qs`` are fractions in ``(0, 1]``; quantile ``q`` maps to rank
+    ``ceil(q * n)`` (so ``q=0.5`` is the paper's median). Returns one
+    :class:`SelectionReport` per quantile, in input order. Keyword
+    arguments are forwarded to :func:`select`.
+    """
+    n = data.n
+    reports = []
+    for q in qs:
+        if not (0.0 < q <= 1.0):
+            raise ConfigurationError(f"quantile {q!r} outside (0, 1]")
+        k = max(1, int(np.ceil(q * n)))
+        reports.append(select(data, k, **kwargs))
+    return reports
+
+
+def rebalance(
+    data: DistributedArray, method="global_exchange"
+) -> tuple[DistributedArray, SPMDResult]:
+    """Standalone load balancing of a distributed array.
+
+    Returns the rebalanced array plus the raw :class:`SPMDResult` (for its
+    simulated-time breakdown).
+    """
+    balancer = get_balancer(method)
+
+    def program(ctx, shard):
+        return balancer.rebalance(ctx, CostedKernels(ctx), shard)
+
+    result = data.machine.run(program, rank_args=[(s,) for s in data.shards])
+    return DistributedArray(data.machine, result.values), result

@@ -1,0 +1,5 @@
+"""Workload generators for the paper's evaluation inputs and stress tests."""
+
+from .generators import DISTRIBUTIONS, describe, generate_shards, shard_sizes
+
+__all__ = ["DISTRIBUTIONS", "describe", "generate_shards", "shard_sizes"]

@@ -1,0 +1,164 @@
+"""Workload generators — the paper's two input classes plus stress variants.
+
+The evaluation (Section 5) uses two inputs:
+
+* ``random`` — ``n/p`` uniformly random keys generated on each processor
+  ("close to the best case");
+* ``sorted`` — the keys ``0..n-1`` with processor ``P_i`` holding the
+  contiguous block ``i*n/p .. (i+1)*n/p - 1`` ("close to the worst case":
+  after one iteration roughly half the processors lose all their keys).
+
+Beyond those we provide distributions that stress different failure modes of
+selection/load-balancing codes: reverse-sorted (worst case mirrored),
+all-equal and few-distinct (duplicate handling — the inputs on which the
+paper's 2-way partition livelocks), gaussian (clustered pivots), zipf
+(heavy-tailed duplicates), and organ-pipe (adversarial for positional
+median splits).
+
+All generators are pure functions of ``(n, p, seed)`` and return one NumPy
+array per processor; dtype is ``float64`` for continuous families and
+``int64`` for integral ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["DISTRIBUTIONS", "generate_shards", "shard_sizes", "describe"]
+
+
+def shard_sizes(n: int, p: int) -> list[int]:
+    """Block-distributed shard sizes: ``ceil``/``floor`` of ``n/p`` (the
+    paper's starting condition: every processor gets n/p elements)."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    base, extra = divmod(n, p)
+    return [base + (1 if r < extra else 0) for r in range(p)]
+
+
+def _random(n: int, p: int, seed: int) -> list[np.ndarray]:
+    sizes = shard_sizes(n, p)
+    return [
+        np.random.default_rng((seed, r)).random(sizes[r]) for r in range(p)
+    ]
+
+
+def _sorted(n: int, p: int, seed: int) -> list[np.ndarray]:
+    sizes = shard_sizes(n, p)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    return [
+        np.arange(offsets[r], offsets[r + 1], dtype=np.int64) for r in range(p)
+    ]
+
+
+def _reverse_sorted(n: int, p: int, seed: int) -> list[np.ndarray]:
+    return [shard[::-1].copy() for shard in _sorted(n, p, seed)][::-1]
+
+
+def _all_equal(n: int, p: int, seed: int) -> list[np.ndarray]:
+    sizes = shard_sizes(n, p)
+    return [np.full(sizes[r], 42, dtype=np.int64) for r in range(p)]
+
+
+def _few_distinct(n: int, p: int, seed: int) -> list[np.ndarray]:
+    sizes = shard_sizes(n, p)
+    return [
+        np.random.default_rng((seed, r)).integers(0, 8, size=sizes[r])
+        for r in range(p)
+    ]
+
+
+def _gaussian(n: int, p: int, seed: int) -> list[np.ndarray]:
+    sizes = shard_sizes(n, p)
+    return [
+        np.random.default_rng((seed, r)).normal(0.0, 1.0, size=sizes[r])
+        for r in range(p)
+    ]
+
+
+def _zipf(n: int, p: int, seed: int) -> list[np.ndarray]:
+    sizes = shard_sizes(n, p)
+    return [
+        np.random.default_rng((seed, r)).zipf(1.5, size=sizes[r]).astype(np.int64)
+        for r in range(p)
+    ]
+
+
+def _organ_pipe(n: int, p: int, seed: int) -> list[np.ndarray]:
+    """Ascending then descending ramp, block-distributed."""
+    half = n // 2
+    full = np.concatenate(
+        [np.arange(half, dtype=np.int64), np.arange(n - half, dtype=np.int64)[::-1]]
+    )
+    sizes = shard_sizes(n, p)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    return [full[offsets[r]: offsets[r + 1]].copy() for r in range(p)]
+
+
+def _skewed_shards(n: int, p: int, seed: int) -> list[np.ndarray]:
+    """Uniform values but *unbalanced* shard sizes (first rank holds ~half):
+    exercises load balancers on their own, independent of selection."""
+    rng = np.random.default_rng((seed, 0xB17))
+    remaining = n
+    sizes = []
+    for r in range(p - 1):
+        take = remaining // 2 if r == 0 else int(rng.integers(0, remaining // 2 + 1))
+        sizes.append(take)
+        remaining -= take
+    sizes.append(remaining)
+    return [np.random.default_rng((seed, r)).random(s) for r, s in enumerate(sizes)]
+
+
+DISTRIBUTIONS: dict[str, Callable[[int, int, int], list[np.ndarray]]] = {
+    "random": _random,
+    "sorted": _sorted,
+    "reverse_sorted": _reverse_sorted,
+    "all_equal": _all_equal,
+    "few_distinct": _few_distinct,
+    "gaussian": _gaussian,
+    "zipf": _zipf,
+    "organ_pipe": _organ_pipe,
+    "skewed_shards": _skewed_shards,
+}
+
+
+def generate_shards(
+    n: int, p: int, distribution: str = "random", seed: int = 0
+) -> list[np.ndarray]:
+    """One shard per processor for the named distribution.
+
+    ``random`` and ``sorted`` reproduce the paper's Section 5 inputs exactly
+    (modulo RNG). Total element count across shards is always ``n``.
+    """
+    try:
+        gen = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown distribution {distribution!r}; "
+            f"available: {sorted(DISTRIBUTIONS)}"
+        ) from None
+    shards = gen(n, p, seed)
+    assert sum(s.size for s in shards) == n
+    return shards
+
+
+def describe(distribution: str) -> str:
+    """One-line description used by the bench harness reports."""
+    docs = {
+        "random": "uniform random per processor (paper's best case)",
+        "sorted": "globally sorted blocks (paper's worst case)",
+        "reverse_sorted": "globally reverse-sorted blocks",
+        "all_equal": "every key identical (duplicate livelock stress)",
+        "few_distinct": "8 distinct values (duplicate stress)",
+        "gaussian": "normal(0,1) per processor",
+        "zipf": "heavy-tailed integer duplicates",
+        "organ_pipe": "ascending then descending ramp",
+        "skewed_shards": "uniform values, heavily unbalanced shard sizes",
+    }
+    return docs.get(distribution, distribution)

@@ -1,0 +1,195 @@
+"""The O(log p)-bucket local preprocessing of the bucket-based algorithm.
+
+Section 3.2: each processor preprocesses its ``n/p`` keys into ``O(log p)``
+buckets such that every key in bucket ``i`` is <= every key in bucket ``j``
+for ``i < j`` (non-strict under duplicates). Construction recursively splits
+segments at their positional median (``np.partition``), i.e. ``log2(B)``
+levels over the whole array — the paper's ``O((n/p) log log p)`` bound.
+
+Afterwards, the two per-iteration chores of a selection algorithm become
+cheap:
+
+* the **local median** is found by walking bucket sizes to the bucket that
+  contains the target rank and running sequential selection *inside that one
+  bucket* (``O(log log p + n/(p log p))``);
+* **partitioning around a pivot** only needs to touch the bucket(s) whose
+  [min, max] range straddles the pivot: all other buckets are kept or
+  dropped wholesale.
+
+The structure tracks exactly how many elements each operation touched and
+how many bucket-boundary probes it made, so the caller can charge faithful
+simulated costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.cost_model import CostModel
+from ..machine.topology import log2_ceil, next_power_of_two
+
+__all__ = ["LocalBuckets", "BucketScan", "default_n_buckets", "build_cost"]
+
+
+def default_n_buckets(p: int) -> int:
+    """Paper's choice, rounded to a power of two: ~``log2 p`` buckets."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    return next_power_of_two(max(2, log2_ceil(max(p, 2))))
+
+
+def build_cost(model: CostModel, n: int, n_buckets: int) -> float:
+    """Simulated preprocessing cost: ``n`` elements x ``log2(B)`` levels."""
+    return model.compute.bucket_level * max(0, n) * max(1, log2_ceil(n_buckets))
+
+
+@dataclass(frozen=True)
+class BucketScan:
+    """Cost evidence for one bucket-structure operation."""
+
+    touched: int  #: elements actually scanned/moved
+    probes: int  #: bucket-boundary binary-search probes
+
+
+class LocalBuckets:
+    """Value-ordered buckets over one processor's live keys."""
+
+    def __init__(self, buckets: list[np.ndarray]):
+        self._buckets = [b for b in buckets if b.size]
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._sizes = np.array([b.size for b in self._buckets], dtype=np.int64)
+        if self._buckets:
+            self._mins = np.array([b.min() for b in self._buckets])
+            self._maxs = np.array([b.max() for b in self._buckets])
+        else:
+            self._mins = np.array([])
+            self._maxs = np.array([])
+
+    # ------------------------------------------------------------- building
+
+    @classmethod
+    def build(cls, arr: np.ndarray, n_buckets: int) -> "LocalBuckets":
+        """Recursive positional-median splitting into ``n_buckets`` buckets.
+
+        ``n_buckets`` is rounded up to a power of two (the recursion halves).
+        Buckets differ in size by at most one.
+        """
+        if n_buckets < 1:
+            raise ConfigurationError(f"n_buckets must be >= 1, got {n_buckets}")
+        arr = np.asarray(arr)
+        if arr.ndim != 1:
+            raise ConfigurationError("LocalBuckets expects a 1-D array")
+        b = next_power_of_two(n_buckets)
+        segments = [arr.copy()]
+        while len(segments) < b:
+            nxt: list[np.ndarray] = []
+            for seg in segments:
+                if seg.size <= 1:
+                    nxt.extend([seg, seg[:0]])
+                    continue
+                mid = seg.size // 2
+                part = np.partition(seg, mid - 1 if mid else 0)
+                nxt.extend([part[:mid], part[mid:]])
+            segments = nxt
+        return cls(segments)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def total(self) -> int:
+        return int(self._sizes.sum()) if self._buckets else 0
+
+    def as_array(self) -> np.ndarray:
+        """Concatenate live keys (used for the endgame gather)."""
+        if not self._buckets:
+            return np.array([])
+        return np.concatenate(self._buckets)
+
+    def check_invariants(self) -> None:
+        """Bucket ordering invariant (tests): max(bucket i) <= min(bucket j)
+        for i < j."""
+        for i in range(len(self._buckets) - 1):
+            if self._maxs[i] > self._mins[i + 1]:
+                raise AssertionError(
+                    f"bucket order violated between {i} and {i + 1}: "
+                    f"{self._maxs[i]} > {self._mins[i + 1]}"
+                )
+
+    # ------------------------------------------------------------- queries
+
+    def kth(self, k: int) -> tuple[object, BucketScan]:
+        """k-th smallest live key (1-based): bucket walk + in-bucket select."""
+        n = self.total
+        if not (1 <= k <= n):
+            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+        cum = np.cumsum(self._sizes)
+        idx = int(np.searchsorted(cum, k, side="left"))
+        within = k - (int(cum[idx - 1]) if idx else 0)
+        bucket = self._buckets[idx]
+        value = np.partition(bucket, within - 1)[within - 1]
+        probes = max(1, log2_ceil(max(self.n_buckets, 2)))
+        return value, BucketScan(touched=int(bucket.size), probes=probes)
+
+    def count3_vs(self, pivot) -> tuple[int, int, int, BucketScan]:
+        """Global (lt, eq, gt) counts vs ``pivot`` touching only straddlers."""
+        if not self._buckets:
+            return 0, 0, 0, BucketScan(0, 0)
+        wholly_lt = self._maxs < pivot
+        wholly_gt = self._mins > pivot
+        straddle = ~(wholly_lt | wholly_gt)
+        lt = int(self._sizes[wholly_lt].sum())
+        gt = int(self._sizes[wholly_gt].sum())
+        eq = 0
+        touched = 0
+        for i in np.flatnonzero(straddle):
+            b = self._buckets[i]
+            b_lt = int(np.count_nonzero(b < pivot))
+            b_gt = int(np.count_nonzero(b > pivot))
+            lt += b_lt
+            gt += b_gt
+            eq += int(b.size) - b_lt - b_gt
+            touched += int(b.size)
+        probes = max(1, log2_ceil(max(self.n_buckets, 2)))
+        return lt, eq, gt, BucketScan(touched=touched, probes=probes)
+
+    # ------------------------------------------------------------- updates
+
+    def keep_lt(self, pivot) -> BucketScan:
+        """Discard every key >= ``pivot``; returns cost evidence."""
+        return self._keep(lambda b: b[b < pivot], lambda mx: mx < pivot,
+                          lambda mn: mn >= pivot)
+
+    def keep_gt(self, pivot) -> BucketScan:
+        """Discard every key <= ``pivot``."""
+        return self._keep(lambda b: b[b > pivot], lambda mx: False,
+                          lambda mn: False, keep_whole=lambda i: self._mins[i] > pivot,
+                          drop_whole=lambda i: self._maxs[i] <= pivot)
+
+    def _keep(self, filt, keep_max, drop_min, keep_whole=None, drop_whole=None):
+        touched = 0
+        kept: list[np.ndarray] = []
+        for i, b in enumerate(self._buckets):
+            whole_keep = keep_whole(i) if keep_whole else keep_max(self._maxs[i])
+            whole_drop = drop_whole(i) if drop_whole else drop_min(self._mins[i])
+            if whole_keep:
+                kept.append(b)
+            elif whole_drop:
+                continue
+            else:
+                touched += int(b.size)
+                nb = filt(b)
+                if nb.size:
+                    kept.append(nb)
+        self._buckets = kept
+        self._refresh()
+        probes = max(1, log2_ceil(max(len(kept), 2)))
+        return BucketScan(touched=touched, probes=probes)

@@ -1,0 +1,102 @@
+"""Vectorised partition kernels (Step 4/5 of every selection algorithm).
+
+The paper's pseudocode partitions local lists into ``<= pivot`` / ``> pivot``.
+That 2-way scheme livelocks when all surviving keys equal the pivot, so the
+library's algorithms use the 3-way split (``<``, ``==``, ``>``) and terminate
+the moment the target rank lands in the ``==`` band (DESIGN.md deviation #1).
+Both kernels are provided; the 2-way one is kept for the ablation bench that
+demonstrates the livelock on duplicate-heavy inputs.
+
+All kernels are single NumPy passes (boolean masks) per the hpc-parallel
+guide: no Python-level loops over elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.cost_model import CostModel
+
+__all__ = [
+    "Partition2",
+    "Partition3",
+    "partition2",
+    "partition3",
+    "count3",
+    "partition_band",
+    "partition_cost",
+]
+
+
+@dataclass(frozen=True)
+class Partition2:
+    """Result of a 2-way split around ``pivot``."""
+
+    le: np.ndarray
+    gt: np.ndarray
+
+    @property
+    def n_le(self) -> int:
+        return int(self.le.size)
+
+    @property
+    def n_gt(self) -> int:
+        return int(self.gt.size)
+
+
+@dataclass(frozen=True)
+class Partition3:
+    """Result of a 3-way split around ``pivot``."""
+
+    lt: np.ndarray
+    eq: np.ndarray
+    gt: np.ndarray
+
+    @property
+    def n_lt(self) -> int:
+        return int(self.lt.size)
+
+    @property
+    def n_eq(self) -> int:
+        return int(self.eq.size)
+
+    @property
+    def n_gt(self) -> int:
+        return int(self.gt.size)
+
+
+def partition2(arr: np.ndarray, pivot) -> Partition2:
+    """Split ``arr`` into (``<= pivot``, ``> pivot``) — the paper's Step 4."""
+    mask = arr <= pivot
+    return Partition2(le=arr[mask], gt=arr[~mask])
+
+
+def partition3(arr: np.ndarray, pivot) -> Partition3:
+    """Split ``arr`` into (``< pivot``, ``== pivot``, ``> pivot``)."""
+    lt_mask = arr < pivot
+    gt_mask = arr > pivot
+    eq_mask = ~(lt_mask | gt_mask)
+    return Partition3(lt=arr[lt_mask], eq=arr[eq_mask], gt=arr[gt_mask])
+
+
+def count3(arr: np.ndarray, pivot) -> tuple[int, int, int]:
+    """Counts of (``<``, ``==``, ``>``) without materialising the splits."""
+    lt = int(np.count_nonzero(arr < pivot))
+    gt = int(np.count_nonzero(arr > pivot))
+    return lt, int(arr.size - lt - gt), gt
+
+
+def partition_band(arr: np.ndarray, lo, hi) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``arr`` into (``< lo``, ``[lo, hi]``, ``> hi``) — Step 5 of the
+    fast randomized algorithm (Algorithm 4)."""
+    less_mask = arr < lo
+    high_mask = arr > hi
+    mid_mask = ~(less_mask | high_mask)
+    return arr[less_mask], arr[mid_mask], arr[high_mask]
+
+
+def partition_cost(model: CostModel, n: int) -> float:
+    """Simulated cost of one partition pass over ``n`` local elements."""
+    return model.compute.partition * max(0, n)

@@ -1,0 +1,182 @@
+"""Sequential selection kernels (the local Step 1 / final Step of every
+parallel algorithm).
+
+Three genuine implementations are provided:
+
+* :func:`select_deterministic` — Blum/Floyd/Pratt/Rivest/Tarjan median of
+  medians (groups of five), vectorised with NumPy: group medians come from
+  one ``np.median`` over a reshaped view, the recursion bottoms out on a
+  sort. Worst-case ``O(n)`` with the famously large constant the paper's
+  Section 5 blames for the deterministic algorithms' slowness.
+* :func:`select_randomized` — Floyd/Rivest-flavoured randomized quickselect:
+  random pivot, 3-way vectorised partition, expected ``O(n)`` with a small
+  constant.
+* :func:`select_introselect` — ``np.partition`` (C introselect); the fastest
+  wall-clock option, useful as an independent correctness oracle and as an
+  opt-in fast path for very large simulations.
+
+Selection is by *rank* in ``1..n`` (the paper's convention: the median of N
+elements is the element of rank ``ceil(N/2)``).
+
+Simulated-cost companions (:func:`select_cost`) charge the per-element
+constants from the cost model so the parallel algorithms can account local
+selection work in the two-level machine's currency.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.cost_model import CostModel
+
+__all__ = [
+    "select_kth",
+    "select_deterministic",
+    "select_randomized",
+    "select_introselect",
+    "median_rank",
+    "local_median",
+    "select_cost",
+    "SelectMethod",
+]
+
+SelectMethod = Literal["deterministic", "randomized", "introselect"]
+
+#: Below this size, recursion overheads dominate: just sort.
+_SMALL = 32
+
+
+def _check_rank(n: int, k: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"cannot select from an empty array (n={n})")
+    if not (1 <= k <= n):
+        raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+
+
+def median_rank(n: int) -> int:
+    """The paper's median definition: rank ``ceil(n/2)``."""
+    if n <= 0:
+        raise ConfigurationError(f"median of empty set (n={n})")
+    return (n + 1) // 2
+
+
+def select_introselect(arr: np.ndarray, k: int):
+    """k-th smallest via ``np.partition`` (1-based rank)."""
+    _check_rank(arr.size, k)
+    return np.partition(arr, k - 1, kind="introselect")[k - 1]
+
+
+def select_randomized(arr: np.ndarray, k: int, rng: np.random.Generator | None = None):
+    """k-th smallest via randomized quickselect (expected linear time)."""
+    _check_rank(arr.size, k)
+    if rng is None:
+        rng = np.random.default_rng(0x5EEDED)
+    a = arr
+    while True:
+        n = a.size
+        if n <= _SMALL:
+            return np.sort(a)[k - 1]
+        pivot = a[rng.integers(0, n)]
+        lt_mask = a < pivot
+        n_lt = int(np.count_nonzero(lt_mask))
+        if k <= n_lt:
+            a = a[lt_mask]
+            continue
+        gt_mask = a > pivot
+        n_gt = int(np.count_nonzero(gt_mask))
+        n_eq = n - n_lt - n_gt
+        if k <= n_lt + n_eq:
+            return pivot
+        a = a[gt_mask]
+        k -= n_lt + n_eq
+
+
+def select_deterministic(arr: np.ndarray, k: int):
+    """k-th smallest via median of medians (worst-case linear time)."""
+    _check_rank(arr.size, k)
+    a = arr
+    while True:
+        n = a.size
+        if n <= _SMALL:
+            return np.sort(a)[k - 1]
+        # Group medians: full groups of 5 via a reshaped median, remainder
+        # handled separately (at most 4 elements).
+        n_full = (n // 5) * 5
+        groups = a[:n_full].reshape(-1, 5)
+        medians = np.median(groups, axis=1)
+        if n > n_full:
+            tail = a[n_full:]
+            medians = np.append(medians, np.median(tail))
+        # np.median of an even-sized tail can interpolate; for selection we
+        # only need a pivot that guarantees a 30/70 split, and any value
+        # within the data's range preserves that guarantee, so interpolated
+        # medians are safe. For integer inputs keep integer semantics by
+        # selecting an actual element instead.
+        if medians.size == 1:
+            mom = medians[0]
+        else:
+            mom = select_deterministic(medians, median_rank(medians.size))
+        lt_mask = a < mom
+        n_lt = int(np.count_nonzero(lt_mask))
+        if k <= n_lt:
+            a = a[lt_mask]
+            continue
+        gt_mask = a > mom
+        n_gt = int(np.count_nonzero(gt_mask))
+        n_eq = n - n_lt - n_gt
+        if n_eq and k <= n_lt + n_eq:
+            # The pivot itself occupies ranks (n_lt, n_lt + n_eq]. If it is an
+            # interpolated (non-member) value, n_eq == 0 and we never land
+            # here, so returning it is always returning a data element.
+            return _element_at(a, k, n_lt, n_eq, mom)
+        a = a[gt_mask]
+        k -= n_lt + n_eq
+
+
+def _element_at(a: np.ndarray, k: int, n_lt: int, n_eq: int, pivot):
+    """Rank k lies in the ``== pivot`` band: the answer is the pivot value,
+    returned with the array's dtype (guards against np.median float-casting
+    integer arrays)."""
+    return a.dtype.type(pivot) if a.dtype != np.asarray(pivot).dtype else pivot
+
+
+def select_kth(
+    arr: np.ndarray,
+    k: int,
+    method: SelectMethod = "introselect",
+    rng: np.random.Generator | None = None,
+):
+    """Dispatch to one of the three sequential selection implementations."""
+    if method == "introselect":
+        return select_introselect(arr, k)
+    if method == "randomized":
+        return select_randomized(arr, k, rng=rng)
+    if method == "deterministic":
+        return select_deterministic(arr, k)
+    raise ConfigurationError(f"unknown sequential selection method {method!r}")
+
+
+def local_median(
+    arr: np.ndarray,
+    method: SelectMethod = "introselect",
+    rng: np.random.Generator | None = None,
+):
+    """Median (rank ``ceil(n/2)``) of a local list."""
+    return select_kth(arr, median_rank(arr.size), method=method, rng=rng)
+
+
+def select_cost(model: CostModel, n: int, method: SelectMethod) -> float:
+    """Simulated cost of one sequential selection over ``n`` elements."""
+    n = max(0, n)
+    if method == "deterministic":
+        return model.compute.select_deterministic * n
+    if method == "randomized":
+        return model.compute.select_randomized * n
+    if method == "introselect":
+        # Charged as a randomized-class scan: introselect's constant is of
+        # the same order as quickselect's.
+        return model.compute.select_randomized * n
+    raise ConfigurationError(f"unknown sequential selection method {method!r}")

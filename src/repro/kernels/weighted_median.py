@@ -1,0 +1,58 @@
+"""Weighted median — the pivot rule of the bucket-based algorithm.
+
+Algorithm 2 replaces the median of local medians by the *weighted* median of
+the local medians, each weighted by the number of keys still alive on its
+processor. This keeps the guaranteed-discard fraction of the deterministic
+analysis intact even when processors hold unequal loads (Section 3.2).
+
+Definition used (lower weighted median): given values ``v_1..v_p`` with
+non-negative weights ``w_1..w_p`` and ``W = sum(w)``, the weighted median is
+the smallest value ``v_j`` (in sorted order) whose cumulative weight reaches
+``W / 2``. With all weights equal this coincides with the paper's median of
+rank ``ceil(p/2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.cost_model import CostModel
+
+__all__ = ["weighted_median", "weighted_median_cost"]
+
+
+def weighted_median(values: np.ndarray, weights: np.ndarray):
+    """Lower weighted median of ``values`` under ``weights``.
+
+    Zero-weight entries are ignored (a processor that ran out of keys must
+    not influence the pivot). Raises if every weight is zero.
+    """
+    values = np.asarray(values)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.shape != weights.shape or values.ndim != 1:
+        raise ConfigurationError(
+            f"values/weights must be equal-length 1-D arrays, got "
+            f"{values.shape} vs {weights.shape}"
+        )
+    if np.any(weights < 0):
+        raise ConfigurationError("weights must be non-negative")
+    alive = weights > 0
+    if not np.any(alive):
+        raise ConfigurationError("weighted_median of all-zero weights")
+    values = values[alive]
+    weights = weights[alive]
+    order = np.argsort(values, kind="stable")
+    cum = np.cumsum(weights[order])
+    total = cum[-1]
+    # Smallest index with cumulative weight >= total / 2.
+    idx = int(np.searchsorted(cum, total / 2.0, side="left"))
+    return values[order][idx]
+
+
+def weighted_median_cost(model: CostModel, p: int) -> float:
+    """Simulated cost: sort of ``p`` medians plus one cumulative pass."""
+    p = max(1, p)
+    return model.compute.sort_per_cmp * p * max(1.0, np.log2(p)) + (
+        model.compute.scan * p
+    )

@@ -1,0 +1,60 @@
+"""The coarse-grained parallel machine substrate (paper Section 2).
+
+This subpackage is the simulated CM-5: an SPMD thread engine
+(:mod:`.engine`), the six communication primitives with two-level-model
+costing (:mod:`.collectives`, :mod:`.comm`), logical clocks with a
+compute/comm/balance breakdown (:mod:`.clock`), and the calibrated cost
+model itself (:mod:`.cost_model`).
+"""
+
+from .barrier import AbortableBarrier
+from .clock import Category, LogicalClock, TimeBreakdown
+from .collectives import CollectiveEngine, payload_words
+from .comm import Comm
+from .cost_model import (
+    CM5,
+    ComputeCosts,
+    CostModel,
+    cm5,
+    cm5_fast_network,
+    zero_cost_model,
+)
+from .engine import ProcContext, SPMDResult, SPMDRuntime, run_spmd
+from .topology import (
+    hypercube_dimensions,
+    hypercube_partner,
+    hypercube_rounds,
+    is_power_of_two,
+    log2_ceil,
+    next_power_of_two,
+)
+from .trace import NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "AbortableBarrier",
+    "Category",
+    "LogicalClock",
+    "TimeBreakdown",
+    "CollectiveEngine",
+    "payload_words",
+    "Comm",
+    "CM5",
+    "ComputeCosts",
+    "CostModel",
+    "cm5",
+    "cm5_fast_network",
+    "zero_cost_model",
+    "ProcContext",
+    "SPMDResult",
+    "SPMDRuntime",
+    "run_spmd",
+    "hypercube_dimensions",
+    "hypercube_partner",
+    "hypercube_rounds",
+    "is_power_of_two",
+    "log2_ceil",
+    "next_power_of_two",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+]

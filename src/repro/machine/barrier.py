@@ -1,0 +1,82 @@
+"""A reusable, abortable barrier for SPMD worker threads.
+
+``threading.Barrier`` already supports reuse and abort, but its abort story is
+awkward for our use case: once broken it must be explicitly reset, and every
+waiter gets an opaque ``BrokenBarrierError``. The SPMD runtime wants richer
+semantics:
+
+* when any rank *fails* (raises), all ranks currently in — or later arriving
+  at — the barrier must raise :class:`~repro.errors.WorkerAborted`
+  immediately and permanently (an aborted run never resumes);
+* barrier waits happen at every collective, so the implementation must be
+  cheap and must never deadlock even if ranks race abort with arrival.
+
+This is a classic sense-reversing barrier built on a ``Condition``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ConfigurationError, WorkerAborted
+
+__all__ = ["AbortableBarrier"]
+
+
+class AbortableBarrier:
+    """Sense-reversing barrier over ``n_parties`` threads with sticky abort."""
+
+    def __init__(self, n_parties: int):
+        if n_parties < 1:
+            raise ConfigurationError(f"barrier needs >= 1 parties, got {n_parties}")
+        self._n = n_parties
+        self._cond = threading.Condition()
+        self._arrived = 0
+        self._generation = 0
+        self._aborted = False
+
+    @property
+    def n_parties(self) -> int:
+        return self._n
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    def abort(self) -> None:
+        """Permanently break the barrier, waking all current waiters."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Block until all parties arrive; returns the generation index.
+
+        Raises
+        ------
+        WorkerAborted
+            If the barrier was aborted before or while waiting.
+        TimeoutError
+            If ``timeout`` elapses (used only by tests; production waits are
+            unbounded because collectives are guaranteed to rendezvous).
+        """
+        with self._cond:
+            if self._aborted:
+                raise WorkerAborted("barrier aborted")
+            gen = self._generation
+            self._arrived += 1
+            if self._arrived == self._n:
+                # Last arrival releases the cohort and flips the generation.
+                self._arrived = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return gen
+            while self._generation == gen and not self._aborted:
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"barrier wait timed out after {timeout}s "
+                        f"({self._arrived}/{self._n} arrived)"
+                    )
+            if self._aborted:
+                raise WorkerAborted("barrier aborted")
+            return gen

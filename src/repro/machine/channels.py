@@ -1,0 +1,111 @@
+"""Tagged point-to-point mailboxes between SPMD ranks.
+
+Collectives in this library are built either directly on shared rendezvous
+slots (see :mod:`repro.machine.collectives`) or on these channels; user code
+and the load balancers use the channels for genuine pairwise exchanges
+(dimension exchange) and scatter-style sends.
+
+Semantics mirror MPI:
+
+* messages between a fixed (source, dest) pair with the same tag are
+  delivered in FIFO order;
+* ``recv`` blocks until a matching message arrives (or the mailbox is
+  aborted);
+* payloads are delivered by reference — NumPy arrays are *not* copied. That
+  matches MPI zero-copy aspirations and is safe in practice because all
+  library senders hand over freshly-sliced arrays; the engine never mutates a
+  sent buffer. This contract is documented on :meth:`Mailbox.send`.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Hashable
+
+from ..errors import CommunicationError, ConfigurationError, WorkerAborted
+
+__all__ = ["Mailbox", "MessageBoard"]
+
+
+class Mailbox:
+    """The receive side of one rank: per-(source, tag) FIFO queues."""
+
+    def __init__(self, owner_rank: int):
+        self.owner_rank = owner_rank
+        self._cond = threading.Condition()
+        self._queues: dict[tuple[int, Hashable], collections.deque] = {}
+        self._aborted = False
+
+    def abort(self) -> None:
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    def deliver(self, source: int, tag: Hashable, payload: Any) -> None:
+        with self._cond:
+            if self._aborted:
+                return
+            self._queues.setdefault((source, tag), collections.deque()).append(payload)
+            self._cond.notify_all()
+
+    def recv(self, source: int, tag: Hashable, timeout: float | None = None) -> Any:
+        """Block for the next message from ``source`` with ``tag``."""
+        key = (source, tag)
+        with self._cond:
+            while True:
+                if self._aborted:
+                    raise WorkerAborted("mailbox aborted")
+                q = self._queues.get(key)
+                if q:
+                    return q.popleft()
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"rank {self.owner_rank}: recv(source={source}, "
+                        f"tag={tag!r}) timed out after {timeout}s"
+                    )
+
+    def pending(self) -> int:
+        with self._cond:
+            return sum(len(q) for q in self._queues.values())
+
+
+class MessageBoard:
+    """All mailboxes of one runtime; the send side of point-to-point comms."""
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 1:
+            raise ConfigurationError(f"need >= 1 rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self._mailboxes = [Mailbox(r) for r in range(n_ranks)]
+
+    def abort(self) -> None:
+        for mb in self._mailboxes:
+            mb.abort()
+
+    def mailbox(self, rank: int) -> Mailbox:
+        return self._mailboxes[rank]
+
+    def send(self, source: int, dest: int, tag: Hashable, payload: Any) -> None:
+        """Deliver ``payload`` (by reference — do not mutate after send)."""
+        if not (0 <= dest < self.n_ranks):
+            raise CommunicationError(
+                f"send: destination rank {dest} out of range [0, {self.n_ranks})"
+            )
+        if not (0 <= source < self.n_ranks):
+            raise CommunicationError(
+                f"send: source rank {source} out of range [0, {self.n_ranks})"
+            )
+        self._mailboxes[dest].deliver(source, tag, payload)
+
+    def drain_check(self) -> None:
+        """Raise if any mailbox still holds messages (used by the runtime on
+        clean shutdown to catch unmatched sends, a classic SPMD bug)."""
+        leftovers = [
+            (mb.owner_rank, mb.pending()) for mb in self._mailboxes if mb.pending()
+        ]
+        if leftovers:
+            raise CommunicationError(
+                "runtime finished with undelivered messages: "
+                + ", ".join(f"rank {r} has {n} pending" for r, n in leftovers)
+            )

@@ -1,0 +1,170 @@
+"""Per-rank logical clocks with category breakdown.
+
+Simulated time is the library's headline metric (see DESIGN.md): each rank
+carries a :class:`LogicalClock` that advances when local kernels charge
+compute time and when communication primitives charge their two-level-model
+cost. Collectives synchronise clocks across ranks (``t_i <- max_j t_j +
+cost``), exactly like a bulk-synchronous machine in the paper's model.
+
+Every charge is tagged with a :class:`Category` so the figures that split
+"total time" vs "load balancing time" (paper Figures 5 and 6) can be
+regenerated from one run.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["Category", "LogicalClock", "TimeBreakdown"]
+
+
+class Category(str, enum.Enum):
+    """What a slice of simulated time was spent on.
+
+    ``COMPUTE``/``COMM`` cover the selection algorithm proper;
+    ``BALANCE_COMPUTE``/``BALANCE_COMM`` cover time inside a load-balancing
+    call (the paper reports these separately in Figures 5-6); ``SORT`` covers
+    the parallel sample sort inside fast randomized selection (charged on top
+    of its own compute/comm so it can also be reported separately if needed).
+    """
+
+    COMPUTE = "compute"
+    COMM = "comm"
+    BALANCE_COMPUTE = "balance_compute"
+    BALANCE_COMM = "balance_comm"
+
+    @property
+    def is_balance(self) -> bool:
+        return self in (Category.BALANCE_COMPUTE, Category.BALANCE_COMM)
+
+    @property
+    def is_comm(self) -> bool:
+        return self in (Category.COMM, Category.BALANCE_COMM)
+
+
+@dataclass
+class TimeBreakdown:
+    """Immutable-ish summary of a clock: totals per category.
+
+    Attributes mirror :class:`Category`; ``total`` is their sum and equals the
+    clock's final simulated time (up to floating-point addition order).
+    """
+
+    compute: float = 0.0
+    comm: float = 0.0
+    balance_compute: float = 0.0
+    balance_comm: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm + self.balance_compute + self.balance_comm
+
+    @property
+    def balance(self) -> float:
+        """Total time attributable to load balancing (Figures 5-6 bars)."""
+        return self.balance_compute + self.balance_comm
+
+    @property
+    def communication(self) -> float:
+        return self.comm + self.balance_comm
+
+    @property
+    def computation(self) -> float:
+        return self.compute + self.balance_compute
+
+    def merged_max(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        """Element-wise max — used to summarise across ranks conservatively."""
+        return TimeBreakdown(
+            compute=max(self.compute, other.compute),
+            comm=max(self.comm, other.comm),
+            balance_compute=max(self.balance_compute, other.balance_compute),
+            balance_comm=max(self.balance_comm, other.balance_comm),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "compute": self.compute,
+            "comm": self.comm,
+            "balance_compute": self.balance_compute,
+            "balance_comm": self.balance_comm,
+            "balance": self.balance,
+            "total": self.total,
+        }
+
+
+@dataclass
+class LogicalClock:
+    """A monotone simulated-time clock for one SPMD rank.
+
+    The clock's ``now`` only moves forward. ``charge`` adds local time under a
+    category; ``sync_to`` jumps the clock forward to a rendezvous time
+    computed by a collective (never backward) and attributes the *wait + the
+    collective's cost* to the given category, which keeps
+    ``sum(breakdown) == now`` an invariant (property-tested).
+    """
+
+    now: float = 0.0
+    _spent: dict = field(default_factory=dict)
+    #: When a balance section is open, COMPUTE/COMM charges are re-routed to
+    #: their BALANCE_* counterparts. Nesting is counted so balancers may call
+    #: helpers that also open sections.
+    _balance_depth: int = 0
+
+    def charge(self, category: Category, seconds: float) -> float:
+        """Advance the clock by ``seconds`` under ``category``; returns now."""
+        if not (math.isfinite(seconds) and seconds >= 0):
+            raise ConfigurationError(
+                f"charge() needs a finite non-negative duration, got {seconds!r}"
+            )
+        category = self._route(category)
+        self.now += seconds
+        self._spent[category] = self._spent.get(category, 0.0) + seconds
+        return self.now
+
+    def sync_to(self, rendezvous_time: float, category: Category) -> float:
+        """Jump forward to ``rendezvous_time`` (clamped to now) under category.
+
+        Collectives compute ``rendezvous = max_i(now_i) + cost`` and call this
+        on every participant; the difference to the local ``now`` (wait time
+        plus the collective's own cost) is what the rank "spent".
+        """
+        delta = rendezvous_time - self.now
+        if delta <= 0:
+            return self.now
+        return self.charge(category, delta)
+
+    def _route(self, category: Category) -> Category:
+        if self._balance_depth > 0:
+            if category is Category.COMPUTE:
+                return Category.BALANCE_COMPUTE
+            if category is Category.COMM:
+                return Category.BALANCE_COMM
+        return category
+
+    # -- balance sections ---------------------------------------------------
+
+    def open_balance_section(self) -> None:
+        """Start attributing time to the load-balancing categories."""
+        self._balance_depth += 1
+
+    def close_balance_section(self) -> None:
+        if self._balance_depth <= 0:
+            raise ConfigurationError("close_balance_section() without open")
+        self._balance_depth -= 1
+
+    # -- reporting ------------------------------------------------------------
+
+    def breakdown(self) -> TimeBreakdown:
+        return TimeBreakdown(
+            compute=self._spent.get(Category.COMPUTE, 0.0),
+            comm=self._spent.get(Category.COMM, 0.0),
+            balance_compute=self._spent.get(Category.BALANCE_COMPUTE, 0.0),
+            balance_comm=self._spent.get(Category.BALANCE_COMM, 0.0),
+        )
+
+    def snapshot(self) -> float:
+        return self.now

@@ -1,0 +1,100 @@
+"""Topology helpers for the virtual-crossbar machine.
+
+The two-level model treats the network as a crossbar, so topology barely
+matters for costing — but two algorithms need structural helpers:
+
+* the **dimension exchange** load balancer pairs ranks along hypercube
+  dimensions (ranks differing in bit ``i``);
+* tree-structured collectives use ``ceil(log2 p)`` rounds of power-of-two
+  partners.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "log2_ceil",
+    "hypercube_dimensions",
+    "hypercube_partner",
+    "hypercube_rounds",
+]
+
+
+def is_power_of_two(p: int) -> bool:
+    """True iff ``p`` is a positive power of two."""
+    return p >= 1 and (p & (p - 1)) == 0
+
+
+def next_power_of_two(p: int) -> int:
+    """Smallest power of two >= ``p`` (``p >= 1``)."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    return 1 << (p - 1).bit_length()
+
+
+def log2_ceil(p: int) -> int:
+    """``ceil(log2 p)``; 0 for ``p == 1``."""
+    if p < 1:
+        raise ConfigurationError(f"p must be >= 1, got {p}")
+    return (p - 1).bit_length()
+
+
+def hypercube_dimensions(p: int) -> int:
+    """Number of dimension-exchange rounds for ``p`` ranks.
+
+    For a power of two this is exactly ``log2 p``. Otherwise we embed the
+    ranks in the smallest enclosing hypercube (``ceil(log2 p)`` dimensions);
+    ranks whose partner id falls outside ``[0, p)`` sit a round out
+    (documented deviation #2 in DESIGN.md).
+    """
+    return log2_ceil(p)
+
+
+def hypercube_partner(rank: int, dim: int, p: int) -> int | None:
+    """Partner of ``rank`` along hypercube dimension ``dim``; None if the
+    partner id does not exist on a non-power-of-two machine."""
+    if not (0 <= rank < p):
+        raise ConfigurationError(f"rank {rank} out of range [0, {p})")
+    partner = rank ^ (1 << dim)
+    return partner if partner < p else None
+
+
+def hypercube_rounds(p: int) -> Iterator[list[tuple[int, int]]]:
+    """Yield, per dimension, the list of (low, high) rank pairs that exchange.
+
+    After processing dimension ``i`` on a power-of-two machine, every aligned
+    block of ``2^(i+1)`` ranks holds an equal share of the block's load — the
+    invariant the paper states in Section 4.2.
+    """
+    for dim in range(hypercube_dimensions(p)):
+        pairs: list[tuple[int, int]] = []
+        for rank in range(p):
+            partner = rank ^ (1 << dim)
+            if partner < p and rank < partner:
+                pairs.append((rank, partner))
+        yield pairs
+
+
+def tree_children(rank: int, p: int) -> list[int]:
+    """Children of ``rank`` in the binomial broadcast tree rooted at 0.
+
+    Node ``r`` has children ``r + 2^j`` for every ``j`` strictly below the
+    position of ``r``'s lowest set bit (all positions for the root), clipped
+    to ranks that exist. Union of all edges is a spanning tree over
+    ``range(p)`` with depth ``ceil(log2 p)`` — property-tested.
+    """
+    if not (0 <= rank < p):
+        raise ConfigurationError(f"rank {rank} out of range [0, {p})")
+    limit = (rank & -rank).bit_length() - 1 if rank else log2_ceil(p)
+    return [rank + (1 << j) for j in range(limit) if rank + (1 << j) < p]
+
+
+def pairwise_distance(_a: int, _b: int) -> int:
+    """Crossbar distance is constant; retained for model documentation."""
+    return 1

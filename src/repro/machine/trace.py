@@ -1,0 +1,98 @@
+"""Optional per-rank event tracing.
+
+When enabled on the runtime, every communication primitive appends a
+:class:`TraceEvent` (operation, payload words, simulated start/end). Traces
+make two things cheap: debugging distributed control flow, and unit-testing
+that an algorithm issued exactly the primitives the paper's pseudocode says
+it should (e.g. Algorithm 3 does one prefix-sum, one broadcast and one
+combine per iteration).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One communication primitive as seen from one rank."""
+
+    rank: int
+    op: str
+    words: float
+    t_start: float
+    t_end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Tracer:
+    """Thread-safe append-only event log."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+
+    enabled = True
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, rank: int | None = None, op: str | None = None) -> list[TraceEvent]:
+        with self._lock:
+            evs = list(self._events)
+        if rank is not None:
+            evs = [e for e in evs if e.rank == rank]
+        if op is not None:
+            evs = [e for e in evs if e.op == op]
+        return evs
+
+    def count(self, op: str, rank: int | None = None) -> int:
+        return len(self.events(rank=rank, op=op))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+class NullTracer:
+    """No-op tracer used when tracing is disabled (the default)."""
+
+    enabled = False
+
+    def record(self, event: TraceEvent) -> None:  # pragma: no cover - trivial
+        pass
+
+    def events(self, rank: int | None = None, op: str | None = None) -> list[TraceEvent]:
+        return []
+
+    def count(self, op: str, rank: int | None = None) -> int:
+        return 0
+
+    def clear(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view over a tracer, keyed by op name."""
+
+    counts: dict = field(default_factory=dict)
+    words: dict = field(default_factory=dict)
+    time: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, rank: int | None = None) -> "TraceSummary":
+        s = cls()
+        for e in tracer.events(rank=rank):
+            s.counts[e.op] = s.counts.get(e.op, 0) + 1
+            s.words[e.op] = s.words.get(e.op, 0.0) + e.words
+            s.time[e.op] = s.time.get(e.op, 0.0) + e.duration
+        return s

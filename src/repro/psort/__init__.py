@@ -1,0 +1,5 @@
+"""Parallel sorting substrate (sample sort) for fast randomized selection."""
+
+from .sample_sort import element_at_global_rank, is_globally_sorted, sample_sort
+
+__all__ = ["element_at_global_rank", "is_globally_sorted", "sample_sort"]

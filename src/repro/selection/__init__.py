@@ -1,0 +1,60 @@
+"""The four parallel selection algorithms (paper Section 3) + hybrids.
+
+Registry keys (used by :func:`repro.select` and the bench harness):
+
+=========================  ==============================================
+``median_of_medians``      Algorithm 1 (deterministic; needs balancing)
+``bucket_based``           Algorithm 2 (deterministic; no balancing)
+``randomized``             Algorithm 3 (expected O(log n) iterations)
+``fast_randomized``        Algorithm 4 (O(log log n) iterations w.h.p.)
+``hybrid_median_of_medians``  Section 5 hybrid of Algorithm 1
+``hybrid_bucket_based``       Section 5 hybrid of Algorithm 2
+``sort_based``                related-work baseline: full sort + index
+=========================  ==============================================
+"""
+
+from .base import (
+    Decision,
+    IterationRecord,
+    SelectionConfig,
+    SelectionStats,
+    decide_side,
+    endgame,
+    endgame_threshold,
+)
+from .bucket_based import bucket_based_select
+from .fast_randomized import FastRandomizedParams, fast_randomized_select
+from .hybrid import hybrid_bucket_based_select, hybrid_median_of_medians_select
+from .median_of_medians import median_of_medians_select
+from .randomized import randomized_select
+from .sort_based import sort_based_select
+
+#: name -> (SPMD function, default sequential method, needs balancing)
+ALGORITHMS = {
+    "median_of_medians": (median_of_medians_select, "deterministic", True),
+    "bucket_based": (bucket_based_select, "deterministic", False),
+    "randomized": (randomized_select, "randomized", False),
+    "fast_randomized": (fast_randomized_select, "randomized", False),
+    "hybrid_median_of_medians": (hybrid_median_of_medians_select, "randomized", True),
+    "hybrid_bucket_based": (hybrid_bucket_based_select, "randomized", False),
+    "sort_based": (sort_based_select, "randomized", False),
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "Decision",
+    "IterationRecord",
+    "SelectionConfig",
+    "SelectionStats",
+    "decide_side",
+    "endgame",
+    "endgame_threshold",
+    "FastRandomizedParams",
+    "bucket_based_select",
+    "fast_randomized_select",
+    "hybrid_bucket_based_select",
+    "hybrid_median_of_medians_select",
+    "median_of_medians_select",
+    "randomized_select",
+    "sort_based_select",
+]

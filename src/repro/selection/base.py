@@ -1,0 +1,200 @@
+"""Shared scaffolding for the four parallel selection algorithms.
+
+Every algorithm in Section 3 has the same skeleton: iterate, shrinking the
+set of live keys, while the global count exceeds ``p^2``; then gather the
+survivors on processor 0 and finish with sequential selection (the paper's
+final Steps). This module holds that skeleton's common pieces:
+
+* :class:`SelectionConfig` — knobs shared by all algorithms (target rank,
+  balancer, sequential method, seeds, iteration guard);
+* :class:`IterationRecord` / :class:`SelectionStats` — per-iteration
+  evidence (live counts, pivots, balance invocations) used by tests and the
+  bench harness (e.g. to verify the O(log n) / O(log log n) iteration-count
+  claims);
+* :func:`endgame` — the ``Gather + sequential selection + Broadcast`` coda;
+* :func:`decide_side` — the 3-way Step 6 shared by Algorithms 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..balance.base import Balancer, NoBalance
+from ..errors import ConfigurationError, ConvergenceError
+from ..kernels.costed import CostedKernels
+from ..kernels.select import SelectMethod, select_cost
+from ..machine.engine import ProcContext
+
+__all__ = [
+    "SelectionConfig",
+    "IterationRecord",
+    "SelectionStats",
+    "Decision",
+    "decide_side",
+    "endgame",
+    "endgame_threshold",
+    "check_rank",
+]
+
+
+@dataclass
+class SelectionConfig:
+    """Run-time knobs common to all four algorithms.
+
+    Attributes
+    ----------
+    balancer:
+        Load-balancing strategy applied at the end of each iteration
+        (:class:`~repro.balance.base.NoBalance` disables, the paper's
+        default for the randomized algorithms).
+    sequential_method:
+        Sequential kernel used for local medians and the endgame. The
+        deterministic algorithms use ``"deterministic"`` per the paper; the
+        hybrid experiment of Section 5 swaps in ``"randomized"``.
+    seed:
+        Seed for every stochastic choice. The paper's randomized algorithms
+        require all processors to draw identical random numbers; each rank
+        seeds an identical PCG64 stream from this value.
+    max_iterations:
+        Safety guard; a correct run needs ~log2(n) at most.
+    endgame_threshold:
+        Stop iterating when the live count drops to this value or below
+        (``None`` = the paper's ``p^2``).
+    impl_override:
+        Sequential kernel that *executes* local selections (simulated cost
+        still follows ``sequential_method``). Set to ``"introselect"`` by
+        the bench harness on huge grids: the selected value is identical for
+        every implementation, so results and simulated times are unchanged
+        while wall-clock drops by the deterministic kernel's constant.
+    """
+
+    balancer: Balancer = field(default_factory=NoBalance)
+    sequential_method: SelectMethod = "randomized"
+    seed: int = 0
+    max_iterations: Optional[int] = None
+    endgame_threshold: Optional[int] = None
+    impl_override: Optional[SelectMethod] = None
+
+    def iteration_guard(self, n: int) -> int:
+        if self.max_iterations is not None:
+            return self.max_iterations
+        return 4 * max(1, int(np.ceil(np.log2(max(n, 2))))) + 64
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """What one while-loop iteration did, as seen by every rank."""
+
+    n_before: int
+    n_after: int
+    k_before: int
+    k_after: int
+    pivot: object
+    local_before: int
+    local_after: int
+    balanced: bool
+    successful: bool = True
+
+    @property
+    def shrink(self) -> float:
+        return self.n_after / self.n_before if self.n_before else 0.0
+
+
+@dataclass
+class SelectionStats:
+    """Aggregated run evidence (identical content on every rank)."""
+
+    algorithm: str = ""
+    n: int = 0
+    p: int = 0
+    k: int = 0
+    iterations: list[IterationRecord] = field(default_factory=list)
+    endgame_n: int = 0
+    found_by_pivot: bool = False
+    balance_invocations: int = 0
+    unsuccessful_iterations: int = 0
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    def record(self, rec: IterationRecord) -> None:
+        self.iterations.append(rec)
+        if rec.balanced:
+            self.balance_invocations += 1
+        if not rec.successful:
+            self.unsuccessful_iterations += 1
+
+
+def check_rank(n: int, k: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"selection from empty input (n={n})")
+    if not (1 <= k <= n):
+        raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+
+
+def endgame_threshold(cfg: SelectionConfig, p: int) -> int:
+    """The paper's ``while (n > p^2)`` bound (overridable)."""
+    if cfg.endgame_threshold is not None:
+        return max(1, cfg.endgame_threshold)
+    return max(1, p * p)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of Step 6: either the pivot is the answer, or one side
+    survives with an adjusted target rank."""
+
+    found: bool
+    keep_low: bool = False
+    new_n: int = 0
+    new_k: int = 0
+
+
+def decide_side(k: int, c_less: int, c_eq: int, n: int) -> Decision:
+    """3-way Step 6 (DESIGN.md deviation #1 handles duplicate pivots).
+
+    Ranks ``(c_less, c_less + c_eq]`` are occupied by keys equal to the
+    pivot, so the pivot *is* the answer there — the 2-way paper scheme only
+    has the ``<=``/``>`` split and livelocks when ``c_eq == n``.
+    """
+    if k <= c_less:
+        return Decision(found=False, keep_low=True, new_n=c_less, new_k=k)
+    if k <= c_less + c_eq:
+        return Decision(found=True)
+    return Decision(
+        found=False,
+        keep_low=False,
+        new_n=n - c_less - c_eq,
+        new_k=k - c_less - c_eq,
+    )
+
+
+def endgame(
+    ctx: ProcContext,
+    kernels: CostedKernels,
+    arr: np.ndarray,
+    k: int,
+    method: SelectMethod,
+    rng: np.random.Generator | None = None,
+    impl: SelectMethod | None = None,
+):
+    """Final Steps: Gather survivors on P0, select sequentially, Broadcast."""
+    gathered = ctx.comm.gather_concat_array(arr)
+    if ctx.rank == 0:
+        if gathered is None or gathered.size == 0:
+            raise ConvergenceError("endgame reached with no surviving keys")
+        if not (1 <= k <= gathered.size):
+            raise ConvergenceError(
+                f"endgame rank {k} inconsistent with {gathered.size} survivors"
+            )
+        ctx.charge_compute(select_cost(ctx.model, gathered.size, method))
+        from ..kernels.select import select_kth
+
+        value = select_kth(gathered, k, method=impl or method, rng=rng)
+    else:
+        value = None
+    return ctx.comm.broadcast(value, root=0)

@@ -1,0 +1,49 @@
+"""The Section 5 hybrid experiment: deterministic *parallel* structure with
+randomized *sequential* local parts.
+
+The paper splits each deterministic algorithm into a parallel part (combine
+local results across processors) and a sequential part (local selections),
+then swaps the sequential deterministic kernels for randomized ones to see
+where the randomized algorithms' advantage comes from. Finding: the hybrids
+land between the deterministic and randomized algorithms — for large ``n``
+most of the gap is sequential, for large ``p`` it is parallel.
+
+These wrappers simply re-run Algorithms 1 and 2 with
+``sequential_method="randomized"``; they exist as named entry points so the
+bench harness and the experiment index can refer to them directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..machine.engine import ProcContext
+from .base import SelectionConfig, SelectionStats
+from .bucket_based import bucket_based_select
+from .median_of_medians import median_of_medians_select
+
+__all__ = ["hybrid_median_of_medians_select", "hybrid_bucket_based_select"]
+
+
+def _randomized_sequential(cfg: SelectionConfig) -> SelectionConfig:
+    return dataclasses.replace(cfg, sequential_method="randomized")
+
+
+def hybrid_median_of_medians_select(
+    ctx: ProcContext, shard: np.ndarray, k: int, cfg: SelectionConfig
+) -> tuple[object, SelectionStats]:
+    """Algorithm 1's parallel skeleton + randomized sequential selection."""
+    value, stats = median_of_medians_select(ctx, shard, k, _randomized_sequential(cfg))
+    stats.algorithm = "hybrid_median_of_medians"
+    return value, stats
+
+
+def hybrid_bucket_based_select(
+    ctx: ProcContext, shard: np.ndarray, k: int, cfg: SelectionConfig
+) -> tuple[object, SelectionStats]:
+    """Algorithm 2's parallel skeleton + randomized sequential selection."""
+    value, stats = bucket_based_select(ctx, shard, k, _randomized_sequential(cfg))
+    stats.algorithm = "hybrid_bucket_based"
+    return value, stats

@@ -1,0 +1,127 @@
+"""Algorithm 1 — Median of Medians selection (paper Section 3.1).
+
+Straightforward parallelisation of the deterministic sequential algorithm
+(Blum et al.), as implemented on distributed-memory machines by Bader &
+JaJa: every iteration each processor finds its *local median* with
+sequential deterministic selection, the medians are gathered, processor 0
+selects their median (the "median of medians"), broadcasts it as the
+estimated global median, and every processor partitions its keys around it.
+A Combine of the split counts picks the surviving side.
+
+The algorithm *requires* load balancing between iterations (Step 7): its
+pivot guarantee assumes near-equal local counts. The paper's figures pair it
+with global exchange; that is this implementation's default when the caller
+passes no balancer (``select(..., algorithm="median_of_medians")`` resolves
+the default at the API layer).
+
+Expected time with balancing: ``O(n/p + tau log p log n + mu p log n)``
+(paper Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..balance.base import NoBalance
+from ..kernels.costed import CostedKernels
+from ..kernels.select import median_rank, select_cost, select_kth
+from ..machine.engine import ProcContext
+from .base import (
+    IterationRecord,
+    SelectionConfig,
+    SelectionStats,
+    check_rank,
+    decide_side,
+    endgame,
+    endgame_threshold,
+)
+from ..errors import ConvergenceError
+
+__all__ = ["median_of_medians_select"]
+
+
+def median_of_medians_select(
+    ctx: ProcContext, shard: np.ndarray, k: int, cfg: SelectionConfig
+) -> tuple[object, SelectionStats]:
+    """SPMD entry point: every rank passes its shard; returns (value, stats).
+
+    ``cfg.sequential_method`` is ``"deterministic"`` for the paper's
+    Algorithm 1 and ``"randomized"`` for the Section 5 hybrid variant.
+    """
+    K = CostedKernels(ctx)
+    p = ctx.size
+    arr = np.asarray(shard)
+    n = int(ctx.comm.allreduce_sum(int(arr.size)))
+    check_rank(n, k)
+    stats = SelectionStats(
+        algorithm="median_of_medians", n=n, p=p, k=k
+    )
+    rng = np.random.default_rng((cfg.seed, ctx.rank, 0xA1))
+    threshold = endgame_threshold(cfg, p)
+    guard = cfg.iteration_guard(n)
+
+    while n > threshold:
+        if len(stats.iterations) > guard:
+            raise ConvergenceError(
+                f"median_of_medians exceeded {guard} iterations (n={n})"
+            )
+        n_before, k_before = n, k
+        ni = int(arr.size)
+
+        # Step 1: local median via sequential selection (the expensive part —
+        # the deterministic constant is what Section 5 blames).
+        if ni:
+            local_med = K.select_kth(
+                arr, median_rank(ni), cfg.sequential_method, rng=rng,
+                impl=cfg.impl_override,
+            )
+        else:
+            local_med = None
+
+        # Steps 2-3: Gather medians; P0 selects their median; Broadcast.
+        medians = ctx.comm.gather(local_med, root=0)
+        if ctx.rank == 0:
+            pool = np.array([m for m in medians if m is not None])
+            ctx.charge_compute(select_cost(ctx.model, pool.size, cfg.sequential_method))
+            mom = select_kth(
+                pool, median_rank(pool.size),
+                method=cfg.impl_override or cfg.sequential_method, rng=rng,
+            )
+        else:
+            mom = None
+        mom = ctx.comm.broadcast(mom, root=0)
+
+        # Steps 4-5: 3-way split + Combine of the counts.
+        parts = K.partition3(arr, mom)
+        c_less, c_eq = ctx.comm.combine(
+            np.array([parts.n_lt, parts.n_eq], dtype=np.int64)
+        )
+        c_less, c_eq = int(c_less), int(c_eq)
+
+        # Step 6: pick the side (or finish on the pivot band).
+        decision = decide_side(k, c_less, c_eq, n)
+        if decision.found:
+            stats.record(IterationRecord(
+                n_before=n, n_after=0, k_before=k, k_after=k, pivot=mom,
+                local_before=ni, local_after=0, balanced=False,
+            ))
+            stats.found_by_pivot = True
+            return mom, stats
+        arr = parts.lt if decision.keep_low else parts.gt
+        n, k = decision.new_n, decision.new_k
+
+        # Step 7: load balance (required by this algorithm).
+        balanced = not isinstance(cfg.balancer, NoBalance)
+        if balanced:
+            arr = cfg.balancer.rebalance(ctx, K, arr)
+        stats.record(IterationRecord(
+            n_before=n_before, n_after=n, k_before=k_before, k_after=k,
+            pivot=mom, local_before=ni, local_after=int(arr.size),
+            balanced=balanced,
+        ))
+
+    # Steps 8-9: endgame.
+    stats.endgame_n = n
+    value = endgame(ctx, K, arr, k, cfg.sequential_method, rng=rng,
+                    impl=cfg.impl_override)
+    return value, stats

@@ -1,0 +1,43 @@
+"""Sort-based selection baseline (related-work strawman).
+
+The paper's related work covers sorting-based selection (Berthome et al. [6]
+on hypercubic networks): sort all the keys, then read off rank ``k``. It is
+the obvious upper bound every dedicated selection algorithm must beat —
+selection is interesting *because* ``O(n/p)`` beats ``O((n log n)/p)`` and a
+full sort's communication volume.
+
+Implemented here over the same sample-sort substrate fast randomized
+selection uses, so the comparison in the benches is apples-to-apples:
+
+1. parallel sample sort of the *entire* input;
+2. one Global Concatenate of run lengths + a broadcast from the owner of
+   global rank ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.costed import CostedKernels
+from ..machine.engine import ProcContext
+from ..psort.sample_sort import element_at_global_rank, sample_sort
+from .base import SelectionConfig, SelectionStats, check_rank
+
+__all__ = ["sort_based_select"]
+
+
+def sort_based_select(
+    ctx: ProcContext, shard: np.ndarray, k: int, cfg: SelectionConfig
+) -> tuple[object, SelectionStats]:
+    """SPMD entry point: full parallel sort, then an O(1) rank lookup."""
+    K = CostedKernels(ctx)
+    arr = np.asarray(shard)
+    n = int(ctx.comm.allreduce_sum(int(arr.size)))
+    check_rank(n, k)
+    stats = SelectionStats(algorithm="sort_based", n=n, p=ctx.size, k=k)
+
+    sorted_run = sample_sort(ctx, K, arr)
+    value = element_at_global_rank(ctx, sorted_run, k)
+    stats.endgame_n = 0
+    stats.found_by_pivot = True  # no iterate-and-discard phase at all
+    return value, stats

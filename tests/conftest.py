@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+import repro
+from repro.machine import run_spmd, zero_cost_model
+
+# Hypothesis profile: SPMD runs spawn threads, which trips the default
+# too-slow health check; examples stay small instead.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+def reference_kth(shards, k: int):
+    """Oracle: k-th smallest (1-based) of the union of shards via sorting."""
+    full = np.concatenate([np.asarray(s) for s in shards if np.asarray(s).size])
+    return np.sort(full)[k - 1]
+
+
+@pytest.fixture
+def machine4():
+    return repro.Machine(n_procs=4)
+
+
+@pytest.fixture
+def free_machine4():
+    """Four processors with an all-zero cost model (semantic tests)."""
+    return repro.Machine(n_procs=4, cost_model=zero_cost_model())
+
+
+def spmd(fn, p, rank_args=None, **kw):
+    """Shorthand for run_spmd in tests."""
+    return run_spmd(fn, p, rank_args=rank_args, **kw)

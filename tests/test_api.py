@@ -1,0 +1,150 @@
+"""Public API: Machine, DistributedArray, select/median/rebalance plumbing."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+
+
+class TestMachine:
+    def test_distribute_block_layout(self):
+        m = repro.Machine(n_procs=4)
+        d = m.distribute(np.arange(10))
+        assert d.counts == [3, 3, 2, 2]
+        assert np.array_equal(d.gather(), np.arange(10))
+
+    def test_distribute_rejects_2d(self):
+        m = repro.Machine(n_procs=2)
+        with pytest.raises(ConfigurationError):
+            m.distribute(np.zeros((2, 2)))
+
+    def test_distribute_copies(self):
+        m = repro.Machine(n_procs=2)
+        src = np.arange(6)
+        d = m.distribute(src)
+        src[:] = -1
+        assert np.array_equal(d.gather(), np.arange(6))
+
+    def test_from_shards_validates_count(self):
+        m = repro.Machine(n_procs=3)
+        with pytest.raises(ConfigurationError):
+            m.from_shards([np.arange(2)])
+
+    def test_generate_delegates(self):
+        m = repro.Machine(n_procs=3)
+        d = m.generate(100, distribution="sorted")
+        assert np.array_equal(np.sort(d.gather()), np.arange(100))
+
+    def test_properties(self):
+        m = repro.Machine(n_procs=5)
+        assert m.n_procs == 5
+        assert m.cost_model.name == "CM5"
+
+    def test_custom_cost_model(self):
+        cm = repro.CM5.replace(tau=1.0)
+        m = repro.Machine(n_procs=2, cost_model=cm)
+        assert m.cost_model.tau == 1.0
+
+    def test_run_escape_hatch(self):
+        m = repro.Machine(n_procs=3)
+        res = m.run(lambda ctx: ctx.rank + 10)
+        assert res.values == [10, 11, 12]
+
+
+class TestDistributedArray:
+    def test_len_and_n(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(123)
+        assert len(d) == 123 and d.n == 123 and d.p == 2
+
+    def test_imbalance_stats(self):
+        m = repro.Machine(n_procs=4)
+        d = m.from_shards([np.arange(10), np.arange(0), np.arange(2), np.arange(0)])
+        s = d.imbalance()
+        assert s.max_count == 10 and s.min_count == 0 and s.n == 12
+
+    def test_gather_empty(self):
+        m = repro.Machine(n_procs=2)
+        d = m.from_shards([np.array([]), np.array([])])
+        assert d.gather().size == 0
+
+
+class TestSelectAPI:
+    def test_unknown_algorithm(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(10)
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            repro.select(d, 1, algorithm="quantum")
+
+    def test_unknown_balancer(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(10)
+        with pytest.raises(ConfigurationError, match="unknown balancer"):
+            repro.select(d, 1, balancer="wat")
+
+    def test_median_is_rank_ceil_half(self):
+        m = repro.Machine(n_procs=2)
+        d = m.distribute(np.array([5.0, 1.0, 9.0, 3.0]))  # n=4 -> rank 2
+        rep = repro.median(d)
+        assert rep.value == 3.0
+        assert rep.k == 2
+
+    def test_sequential_method_override(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(2000, seed=0)
+        a = repro.median(d, algorithm="median_of_medians",
+                         sequential_method="deterministic")
+        b = repro.median(d, algorithm="median_of_medians",
+                         sequential_method="randomized")
+        assert a.value == b.value
+        assert a.simulated_time > b.simulated_time  # det constant dominates
+
+    def test_fast_params_plumbing(self):
+        from repro.selection import FastRandomizedParams
+
+        m = repro.Machine(n_procs=2)
+        d = m.generate(100_000, seed=0)
+        rep = repro.median(
+            d, algorithm="fast_randomized",
+            fast_params=FastRandomizedParams(delta=0.8),
+        )
+        assert rep.value == np.sort(d.gather())[(100_000 + 1) // 2 - 1]
+
+    def test_breakdown_components_sum(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(30_000, distribution="sorted", seed=2)
+        rep = repro.median(d, algorithm="fast_randomized",
+                           balancer="modified_omlb")
+        b = rep.breakdown
+        assert b.total == pytest.approx(
+            b.compute + b.comm + b.balance_compute + b.balance_comm
+        )
+        assert b.balance > 0
+
+    def test_reports_balancer_name(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(5000)
+        rep = repro.median(d, balancer="dimension_exchange")
+        assert rep.balancer == "DimensionExchange"
+
+
+class TestRebalanceAPI:
+    def test_methods(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(400, distribution="skewed_shards", seed=2)
+        for method in ["omlb", "modified_omlb", "global_exchange"]:
+            out, _ = repro.rebalance(d, method=method)
+            assert out.imbalance().spread <= 1
+            assert np.array_equal(np.sort(out.gather()), np.sort(d.gather()))
+
+    def test_returns_result_with_times(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(100, distribution="skewed_shards")
+        _, result = repro.rebalance(d)
+        assert result.simulated_time > 0
+
+
+class TestVersioning:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

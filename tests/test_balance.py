@@ -1,0 +1,233 @@
+"""Load balancers: invariants every strategy must satisfy, plus the
+strategy-specific guarantees the paper states."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.balance import (
+    BALANCERS,
+    get_balancer,
+    imbalance_stats,
+    target_counts,
+)
+from repro.balance.base import NoBalance, TransferPlan
+from repro.errors import ConfigurationError
+from repro.kernels import CostedKernels
+from repro.machine import run_spmd
+from repro.machine.topology import log2_ceil
+
+ALL = sorted(BALANCERS)
+REAL = [b for b in ALL if b != "none"]
+
+
+def run_balancer(name, shards, p=None, trace=False):
+    p = p if p is not None else len(shards)
+
+    def prog(ctx, shard):
+        return get_balancer(name).rebalance(ctx, CostedKernels(ctx), shard)
+
+    return run_spmd(prog, p, rank_args=[(s,) for s in shards], trace=trace)
+
+
+def make_shards(sizes, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.random(s) for s in sizes]
+
+
+class TestTargetCounts:
+    def test_sums_to_n(self):
+        t = target_counts(10, 4)
+        assert t.tolist() == [3, 3, 2, 2]
+
+    def test_perfect_division(self):
+        assert target_counts(8, 4).tolist() == [2, 2, 2, 2]
+
+
+class TestRegistry:
+    def test_all_expected_names(self):
+        assert set(ALL) == {
+            "none", "omlb", "modified_omlb", "dimension_exchange",
+            "global_exchange",
+        }
+
+    def test_get_by_instance_and_class(self):
+        nb = NoBalance()
+        assert get_balancer(nb) is nb
+        assert isinstance(get_balancer(NoBalance), NoBalance)
+        assert isinstance(get_balancer(None), NoBalance)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_balancer("wat")
+
+
+@pytest.mark.parametrize("name", REAL)
+class TestUniversalInvariants:
+    """Paper Section 4 contract: multiset preserved, counts hit n_avg."""
+
+    @pytest.mark.parametrize("sizes", [
+        [40, 0, 0, 0],          # one source, three sinks
+        [0, 0, 0, 40],          # source at the end
+        [10, 10, 10, 10],       # already balanced
+        [1, 2, 3, 4],           # mild imbalance
+        [100, 1, 50, 3],        # mixed
+        [0, 0, 0, 0],           # empty machine
+        [7],                    # single rank
+        [13, 0],                # pair
+    ])
+    def test_multiset_and_balance(self, name, sizes):
+        shards = make_shards(sizes)
+        res = run_balancer(name, shards)
+        outs = res.values
+        inp = np.sort(np.concatenate(shards)) if sum(sizes) else np.array([])
+        out = (np.sort(np.concatenate([o for o in outs if o.size]))
+               if sum(sizes) else np.array([]))
+        assert np.array_equal(inp, out), "element multiset changed"
+        stats = imbalance_stats([o.size for o in outs])
+        slack = log2_ceil(len(sizes)) if name == "dimension_exchange" else 1
+        assert stats.spread <= max(slack, 1)
+
+    def test_fewer_elements_than_ranks(self, name):
+        shards = make_shards([3, 0, 0, 0, 0])
+        res = run_balancer(name, shards)
+        sizes = [o.size for o in res.values]
+        assert sum(sizes) == 3
+        assert max(sizes) <= 1 + (log2_ceil(5) if name == "dimension_exchange" else 0)
+
+    def test_time_attributed_to_balance(self, name):
+        shards = make_shards([64, 0, 0, 0])
+        res = run_balancer(name, shards)
+        assert res.balance_time > 0
+        # Nothing should land in the non-balance comm bucket.
+        assert all(b.comm == 0 for b in res.breakdowns)
+
+    def test_idempotent_on_balanced_input(self, name):
+        shards = make_shards([8, 8, 8, 8])
+        res = run_balancer(name, shards)
+        outs = res.values
+        assert [o.size for o in outs] == [8, 8, 8, 8]
+
+    def test_non_power_of_two(self, name):
+        shards = make_shards([30, 0, 5, 0, 0, 12])
+        res = run_balancer(name, shards)
+        stats = imbalance_stats([o.size for o in res.values])
+        slack = log2_ceil(6) if name == "dimension_exchange" else 1
+        assert stats.spread <= max(slack, 1)
+
+
+class TestOMLBOrder:
+    def test_preserves_global_order(self):
+        # Shards whose concatenation is sorted must stay sorted.
+        shards = [np.arange(0, 17, dtype=float), np.arange(17, 20, dtype=float),
+                  np.arange(20, 21, dtype=float), np.arange(21, 40, dtype=float)]
+        res = run_balancer("omlb", shards)
+        flat = np.concatenate(res.values)
+        assert np.array_equal(flat, np.arange(40, dtype=float))
+
+    def test_paper_cascade_example(self):
+        # Paper 4.1: all ranks have n_avg except P0 (one less) and P_{p-1}
+        # (one more): the unmodified algorithm shifts one element through
+        # every processor (p-1 messages in total).
+        p = 8
+        shards = [np.arange(10, dtype=float) + 100 * r for r in range(p)]
+        shards[0] = shards[0][:-1]
+        shards[-1] = np.append(shards[-1], 999.0)
+        res = run_balancer("omlb", shards, trace=True)
+        moved = res.tracer.events(op="alltoallv")
+        assert moved, "transportation primitive not used"
+        # Every rank except the last must send one element leftwards: check
+        # final counts are balanced and order preserved.
+        assert [o.size for o in res.values] == [10] * 8
+        flat = np.concatenate(res.values)
+        assert np.array_equal(flat, np.sort(flat))
+
+
+class TestModifiedOMLBRetention:
+    def test_sinks_keep_their_own_elements(self):
+        # A sink must retain all of its original elements (only receives).
+        shards = [np.full(30, 1.0), np.full(2, 2.0), np.full(4, 3.0)]
+        res = run_balancer("modified_omlb", shards)
+        out1 = res.values[1]
+        assert np.sum(out1 == 2.0) == 2  # originals still there
+
+    def test_source_sends_only_surplus(self):
+        shards = [np.full(30, 1.0), np.full(2, 2.0), np.full(4, 3.0)]
+        res = run_balancer("modified_omlb", shards)
+        out0 = res.values[0]
+        assert np.all(out0 == 1.0)
+        assert out0.size == 12  # target for n=36, p=3
+
+
+class TestGlobalExchangePairing:
+    def test_biggest_source_feeds_biggest_sink(self):
+        # diff = [+30, -20, -10, 0] after targets; the 30-surplus source
+        # must send 20 to the neediest sink first.
+        p = 4
+        shards = [np.full(40, 0.0), np.full(0, 0.0), np.full(0, 0.0), np.full(0, 0.0)]
+        # targets = 10 each; diffs = [30, -10, -10, -10] — tie: ranks order.
+        res = run_balancer("global_exchange", shards)
+        assert [o.size for o in res.values] == [10, 10, 10, 10]
+
+    def test_message_count_is_minimal_for_single_source(self):
+        def prog(ctx, shard):
+            return get_balancer("global_exchange").rebalance(
+                ctx, CostedKernels(ctx), shard
+            )
+
+        shards = make_shards([40, 0, 0, 0])
+        res = run_spmd(prog, 4, rank_args=[(s,) for s in shards], trace=True)
+        ev = res.tracer.events(op="alltoallv", rank=0)
+        assert len(ev) == 1
+        # detail records max message count; one source -> 3 sinks = 3 msgs.
+        assert "max_msgs=3" in ev[0].detail
+
+
+class TestDimensionExchangePow2:
+    def test_block_invariant_after_rounds(self):
+        # After all log2(p) rounds on p=8, counts differ by <= log2(p).
+        shards = make_shards([80, 0, 0, 0, 0, 0, 0, 0])
+        res = run_balancer("dimension_exchange", shards)
+        sizes = [o.size for o in res.values]
+        assert sum(sizes) == 80
+        assert max(sizes) - min(sizes) <= 3
+
+    def test_exact_balance_on_power_of_two_counts(self):
+        shards = make_shards([16, 0, 0, 0])
+        res = run_balancer("dimension_exchange", shards)
+        assert [o.size for o in res.values] == [4, 4, 4, 4]
+
+    def test_uses_pairwise_rounds_not_alltoall(self):
+        shards = make_shards([32, 0, 0, 0])
+
+        def prog(ctx, shard):
+            return get_balancer("dimension_exchange").rebalance(
+                ctx, CostedKernels(ctx), shard
+            )
+
+        res = run_spmd(prog, 4, rank_args=[(s,) for s in shards], trace=True)
+        assert res.tracer.count("alltoallv") == 0
+        # 2 dims x 2 exchanges (counts + data) x 4 ranks.
+        assert res.tracer.count("pairwise_exchange") == 16
+
+
+class TestTransferPlan:
+    def test_message_count_excludes_self(self):
+        plan = TransferPlan(send_counts=np.array([3, 0, 2, 1]), owner=0)
+        assert plan.messages == 2
+        assert plan.words == 6
+
+    def test_no_owner_given(self):
+        plan = TransferPlan(send_counts=np.array([1, 1]))
+        assert plan.messages == 2
+
+
+class TestRebalanceAPI:
+    def test_public_rebalance(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(100, distribution="skewed_shards", seed=1)
+        assert d.imbalance().spread > 1
+        out, result = repro.rebalance(d, method="global_exchange")
+        assert out.imbalance().spread <= 1
+        assert out.n == 100
+        assert result.balance_time > 0

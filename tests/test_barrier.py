@@ -1,0 +1,88 @@
+"""Unit tests for the abortable sense-reversing barrier."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerAborted
+from repro.machine.barrier import AbortableBarrier
+
+
+def run_threads(n, target):
+    threads = [threading.Thread(target=target, args=(i,), daemon=True) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert not any(t.is_alive() for t in threads)
+
+
+class TestBasics:
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ConfigurationError):
+            AbortableBarrier(0)
+
+    def test_single_party_never_blocks(self):
+        b = AbortableBarrier(1)
+        for gen in range(5):
+            assert b.wait(timeout=1) == gen
+
+    def test_rendezvous_and_reuse(self):
+        b = AbortableBarrier(4)
+        counter = {"v": 0}
+        lock = threading.Lock()
+        generations = []
+
+        def worker(i):
+            for _ in range(10):
+                with lock:
+                    counter["v"] += 1
+                gen = b.wait(timeout=10)
+                if i == 0:
+                    generations.append((gen, counter["v"]))
+                b.wait(timeout=10)
+
+        run_threads(4, worker)
+        # After each first barrier of a round, all 4 increments are visible.
+        assert [v for _, v in generations] == [4 * (i + 1) for i in range(10)]
+
+    def test_timeout(self):
+        b = AbortableBarrier(2)
+        with pytest.raises(TimeoutError):
+            b.wait(timeout=0.05)
+
+
+class TestAbort:
+    def test_abort_wakes_waiters(self):
+        b = AbortableBarrier(3)
+        failures = []
+
+        def waiter(i):
+            try:
+                b.wait(timeout=10)
+            except WorkerAborted:
+                failures.append(i)
+
+        threads = [threading.Thread(target=waiter, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        b.abort()
+        for t in threads:
+            t.join(timeout=5)
+        assert sorted(failures) == [0, 1]
+
+    def test_abort_is_sticky(self):
+        b = AbortableBarrier(1)
+        b.abort()
+        with pytest.raises(WorkerAborted):
+            b.wait(timeout=1)
+        with pytest.raises(WorkerAborted):
+            b.wait(timeout=1)
+
+    def test_aborted_flag(self):
+        b = AbortableBarrier(2)
+        assert not b.aborted
+        b.abort()
+        assert b.aborted

@@ -1,0 +1,130 @@
+"""The benchmark harness itself: grid runner, figures registry, renderer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import EXPERIMENTS, SCALES, run_experiment
+from repro.bench.harness import KILO, PointResult, run_point, run_series
+from repro.bench.report import (
+    fmt_time,
+    render_bar_rows,
+    render_series_table,
+    write_csv,
+)
+from repro.bench.tables import TABLE1_ROWS, TABLE2_ROWS, table1, table2
+from repro.errors import ConfigurationError
+from repro.machine import zero_cost_model
+
+
+class TestRunPoint:
+    def test_basic_fields(self):
+        pt = run_point("randomized", 4096, 4, distribution="random",
+                       balancer="none", trials=2)
+        assert pt.n == 4096 and pt.p == 4
+        assert pt.trials == 2 and len(pt.simulated_times) == 2
+        assert pt.simulated_time > 0 and pt.wall_time > 0
+        assert pt.iterations > 0
+        assert pt.balance_time == 0.0  # no balancer
+
+    def test_balancer_reports_balance_time(self):
+        pt = run_point("randomized", 4096, 4, distribution="sorted",
+                       balancer="global_exchange")
+        assert pt.balance_time > 0
+
+    def test_trials_average(self):
+        pt = run_point("randomized", 8192, 4, trials=3)
+        assert pt.simulated_time == pytest.approx(
+            sum(pt.simulated_times) / 3
+        )
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            run_point("randomized", 1024, 2, trials=0)
+
+    def test_explicit_rank(self):
+        pt = run_point("randomized", 4096, 4, k=1)
+        assert pt.simulated_time > 0
+
+    def test_custom_cost_model(self):
+        pt = run_point("randomized", 4096, 4, cost_model=zero_cost_model())
+        assert pt.simulated_time == 0.0
+
+    def test_as_row_keys(self):
+        row = run_point("randomized", 1024, 2).as_row()
+        assert {"algorithm", "n", "p", "simulated_time_s",
+                "balance_time_s"} <= set(row)
+
+    def test_label(self):
+        pt = run_point("randomized", 1024, 2)
+        assert "randomized" in pt.label and "p=2" in pt.label
+
+
+class TestRunSeries:
+    def test_sweeps_p(self):
+        pts = run_series("randomized", 4096, [2, 4, 8])
+        assert [pt.p for pt in pts] == [2, 4, 8]
+
+
+class TestRegistry:
+    def test_experiment_ids(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
+            "ablation-delta", "ablation-partition",
+        }
+
+    def test_scales(self):
+        assert set(SCALES) == {"small", "half", "paper"}
+        for cfg in SCALES.values():
+            assert {"n_list", "p_sweep", "bar_p_sweep", "trials",
+                    "n_big"} <= set(cfg)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_experiment("fig1", scale="galactic")
+
+
+class TestTables:
+    def test_formula_rows_present(self):
+        assert len(TABLE1_ROWS) == 4 and len(TABLE2_ROWS) == 4
+        assert any("log log" in f for _, f in TABLE2_ROWS)
+
+    def test_table_results_render(self):
+        res = table1("small")
+        assert "Table 1" in res.text
+        assert res.points  # scaling check ran
+        res2 = table2("small")
+        assert "worst-case" in res2.text.lower() or "Table 2" in res2.text
+
+
+class TestReport:
+    def _points(self):
+        return [
+            PointResult("randomized", "none", "random", 1024, p,
+                        simulated_time=0.01 * p, balance_time=0.001,
+                        wall_time=0.1, iterations=5, trials=1)
+            for p in (2, 4)
+        ]
+
+    def test_series_table_contains_all_p(self):
+        text = render_series_table("t", {"series-a": self._points()})
+        assert "   2" in text and "   4" in text
+        assert "series-a" in text
+
+    def test_bar_rows(self):
+        text = render_bar_rows("bars", self._points())
+        assert "balance" in text
+        assert "none" in text
+
+    def test_fmt_time_units(self):
+        assert fmt_time(2.5).strip().endswith("s")
+        assert "ms" in fmt_time(0.01)
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", self._points())
+        content = path.read_text().splitlines()
+        assert content[0].startswith("algorithm,")
+        assert len(content) == 3

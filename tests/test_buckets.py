@@ -1,0 +1,176 @@
+"""LocalBuckets: the O(log p) preprocessing structure of Algorithm 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.kernels.buckets import LocalBuckets, build_cost, default_n_buckets
+from repro.machine.cost_model import CM5
+
+
+class TestBuild:
+    def test_bucket_order_invariant(self):
+        arr = np.random.default_rng(0).random(1000)
+        b = LocalBuckets.build(arr, 8)
+        b.check_invariants()
+        assert b.n_buckets <= 8
+        assert b.total == 1000
+
+    def test_equal_sizes_within_one_level(self):
+        arr = np.random.default_rng(1).permutation(64).astype(float)
+        b = LocalBuckets.build(arr, 8)
+        sizes = [len(x) for x in b._buckets]
+        assert sum(sizes) == 64
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rounds_up_to_power_of_two(self):
+        arr = np.arange(100, dtype=float)
+        b = LocalBuckets.build(arr, 5)  # -> 8 buckets
+        assert b.n_buckets <= 8
+        b.check_invariants()
+
+    def test_as_array_preserves_multiset(self):
+        arr = np.random.default_rng(2).integers(0, 50, 333)
+        b = LocalBuckets.build(arr, 4)
+        assert np.array_equal(np.sort(b.as_array()), np.sort(arr))
+
+    def test_empty_array(self):
+        b = LocalBuckets.build(np.array([]), 4)
+        assert b.total == 0 and b.n_buckets == 0
+        assert b.as_array().size == 0
+
+    def test_single_element(self):
+        b = LocalBuckets.build(np.array([7.0]), 8)
+        assert b.total == 1
+        v, _ = b.kth(1)
+        assert v == 7.0
+
+    def test_rejects_bad_nbuckets(self):
+        with pytest.raises(ConfigurationError):
+            LocalBuckets.build(np.arange(4), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            LocalBuckets.build(np.zeros((2, 2)), 2)
+
+
+class TestDefaultNBuckets:
+    @pytest.mark.parametrize("p,expect", [(1, 2), (2, 2), (4, 2), (8, 4),
+                                          (32, 8), (128, 8)])
+    def test_log_p_rounded(self, p, expect):
+        assert default_n_buckets(p) == expect
+
+    def test_cost_positive(self):
+        assert build_cost(CM5, 1000, 8) > 0
+        assert build_cost(CM5, 0, 8) == 0
+
+
+class TestKth:
+    def test_matches_sort(self):
+        arr = np.random.default_rng(3).integers(0, 100, 500)
+        b = LocalBuckets.build(arr, 8)
+        ordered = np.sort(arr)
+        for k in [1, 100, 250, 500]:
+            v, scan = b.kth(k)
+            assert v == ordered[k - 1]
+            assert scan.touched > 0 and scan.probes >= 1
+
+    def test_touches_only_one_bucket(self):
+        arr = np.random.default_rng(4).random(1024)
+        b = LocalBuckets.build(arr, 8)
+        _, scan = b.kth(512)
+        assert scan.touched <= 1024 // 8 + 1  # one bucket's worth
+
+    def test_out_of_range(self):
+        b = LocalBuckets.build(np.arange(10), 2)
+        for k in (0, 11):
+            with pytest.raises(ConfigurationError):
+                b.kth(k)
+
+
+class TestCount3:
+    def test_matches_direct_counts(self):
+        arr = np.random.default_rng(5).integers(0, 30, 400)
+        b = LocalBuckets.build(arr, 8)
+        for pivot in [-1, 0, 10, 15, 29, 35]:
+            lt, eq, gt, _ = b.count3_vs(pivot)
+            assert lt == int(np.sum(arr < pivot))
+            assert eq == int(np.sum(arr == pivot))
+            assert gt == int(np.sum(arr > pivot))
+
+    def test_straddler_scan_is_partial(self):
+        arr = np.random.default_rng(6).random(1024)
+        b = LocalBuckets.build(arr, 8)
+        _, _, _, scan = b.count3_vs(0.5)
+        # Only the straddling bucket(s) are touched, not the whole array.
+        assert scan.touched < 1024 // 2
+
+    def test_empty(self):
+        b = LocalBuckets.build(np.array([]), 4)
+        assert b.count3_vs(1.0)[:3] == (0, 0, 0)
+
+
+class TestKeep:
+    def test_keep_lt(self):
+        arr = np.random.default_rng(7).integers(0, 100, 300)
+        b = LocalBuckets.build(arr, 8)
+        b.keep_lt(50)
+        kept = b.as_array()
+        assert np.array_equal(np.sort(kept), np.sort(arr[arr < 50]))
+        b.check_invariants()
+
+    def test_keep_gt(self):
+        arr = np.random.default_rng(8).integers(0, 100, 300)
+        b = LocalBuckets.build(arr, 8)
+        b.keep_gt(50)
+        kept = b.as_array()
+        assert np.array_equal(np.sort(kept), np.sort(arr[arr > 50]))
+        b.check_invariants()
+
+    def test_iterated_narrowing_matches_oracle(self):
+        arr = np.random.default_rng(9).random(2000)
+        b = LocalBuckets.build(arr, 8)
+        live = arr.copy()
+        for pivot, low in [(0.7, True), (0.2, False), (0.5, True)]:
+            if low:
+                b.keep_lt(pivot)
+                live = live[live < pivot]
+            else:
+                b.keep_gt(pivot)
+                live = live[live > pivot]
+            assert np.array_equal(np.sort(b.as_array()), np.sort(live))
+
+    def test_keep_on_all_equal(self):
+        b = LocalBuckets.build(np.full(64, 5.0), 8)
+        b.keep_lt(5.0)
+        assert b.total == 0
+
+    def test_scan_evidence_counts(self):
+        arr = np.random.default_rng(10).random(1024)
+        b = LocalBuckets.build(arr, 8)
+        scan = b.keep_lt(0.5)
+        assert 0 < scan.touched < 1024  # partial buckets only
+
+
+@given(
+    arrays(np.int64, st.integers(1, 400), elements=st.integers(0, 60)),
+    st.data(),
+)
+def test_property_kth_equals_sorted(arr, data):
+    b = LocalBuckets.build(arr, 8)
+    k = data.draw(st.integers(1, arr.size))
+    v, _ = b.kth(k)
+    assert v == np.sort(arr)[k - 1]
+
+
+@given(
+    arrays(np.int64, st.integers(1, 300), elements=st.integers(0, 40)),
+    st.integers(0, 40),
+)
+def test_property_count3_total(arr, pivot):
+    b = LocalBuckets.build(arr, 4)
+    lt, eq, gt, _ = b.count3_vs(pivot)
+    assert lt + eq + gt == arr.size

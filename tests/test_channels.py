@@ -1,0 +1,100 @@
+"""Unit tests for tagged point-to-point mailboxes."""
+
+import threading
+
+import pytest
+
+from repro.errors import CommunicationError, WorkerAborted
+from repro.machine.channels import MessageBoard
+
+
+class TestDelivery:
+    def test_fifo_per_source_and_tag(self):
+        board = MessageBoard(2)
+        board.send(0, 1, "t", "a")
+        board.send(0, 1, "t", "b")
+        mb = board.mailbox(1)
+        assert mb.recv(0, "t", timeout=1) == "a"
+        assert mb.recv(0, "t", timeout=1) == "b"
+
+    def test_tags_are_independent(self):
+        board = MessageBoard(2)
+        board.send(0, 1, "x", 1)
+        board.send(0, 1, "y", 2)
+        mb = board.mailbox(1)
+        assert mb.recv(0, "y", timeout=1) == 2
+        assert mb.recv(0, "x", timeout=1) == 1
+
+    def test_sources_are_independent(self):
+        board = MessageBoard(3)
+        board.send(0, 2, 0, "from0")
+        board.send(1, 2, 0, "from1")
+        mb = board.mailbox(2)
+        assert mb.recv(1, 0, timeout=1) == "from1"
+        assert mb.recv(0, 0, timeout=1) == "from0"
+
+    def test_blocking_recv_wakes_on_send(self):
+        board = MessageBoard(2)
+        got = []
+
+        def receiver():
+            got.append(board.mailbox(1).recv(0, 7, timeout=5))
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        board.send(0, 1, 7, "late")
+        t.join(timeout=5)
+        assert got == ["late"]
+
+    def test_recv_timeout(self):
+        board = MessageBoard(2)
+        with pytest.raises(TimeoutError):
+            board.mailbox(0).recv(1, 0, timeout=0.05)
+
+
+class TestValidation:
+    def test_send_out_of_range_dest(self):
+        board = MessageBoard(2)
+        with pytest.raises(CommunicationError):
+            board.send(0, 5, 0, "x")
+
+    def test_send_out_of_range_source(self):
+        board = MessageBoard(2)
+        with pytest.raises(CommunicationError):
+            board.send(-1, 1, 0, "x")
+
+    def test_drain_check_clean(self):
+        board = MessageBoard(2)
+        board.send(0, 1, 0, "x")
+        board.mailbox(1).recv(0, 0, timeout=1)
+        board.drain_check()  # no raise
+
+    def test_drain_check_detects_unconsumed(self):
+        board = MessageBoard(2)
+        board.send(0, 1, 0, "orphan")
+        with pytest.raises(CommunicationError, match="undelivered"):
+            board.drain_check()
+
+
+class TestAbort:
+    def test_abort_wakes_blocked_recv(self):
+        board = MessageBoard(2)
+        errors = []
+
+        def receiver():
+            try:
+                board.mailbox(1).recv(0, 0, timeout=10)
+            except WorkerAborted:
+                errors.append(True)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        board.abort()
+        t.join(timeout=5)
+        assert errors == [True]
+
+    def test_abort_drops_late_sends(self):
+        board = MessageBoard(2)
+        board.abort()
+        board.send(0, 1, 0, "dropped")  # silently discarded
+        assert board.mailbox(1).pending() == 0

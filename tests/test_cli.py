@@ -1,0 +1,48 @@
+"""The repro-bench CLI."""
+
+import pytest
+
+from repro.bench.cli import ALL_IDS, build_parser, main
+
+
+class TestParser:
+    def test_all_ids_exposed(self):
+        parser = build_parser()
+        for exp in ALL_IDS:
+            args = parser.parse_args([exp])
+            assert args.experiment == exp
+
+    def test_default_scale_small(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.scale == "small"
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig42"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--scale", "huge"])
+
+
+class TestMain:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["ablation-partition", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation" in out
+        assert "grid points" in out
+
+    def test_writes_csv(self, tmp_path, capsys):
+        assert main(["ablation-partition", "--scale", "small",
+                     "--out", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.csv"))
+        assert len(files) == 1
+        assert "ablation-partition_small" in files[0].name
+        header = files[0].read_text().splitlines()[0]
+        assert "simulated_time_s" in header
+
+    def test_table_experiment(self, capsys):
+        assert main(["table1", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "empirical n-scaling" in out

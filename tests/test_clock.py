@@ -1,0 +1,126 @@
+"""Unit tests for logical clocks and the time breakdown."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.clock import Category, LogicalClock, TimeBreakdown
+
+
+class TestCharge:
+    def test_accumulates(self):
+        c = LogicalClock()
+        assert c.charge(Category.COMPUTE, 1.0) == 1.0
+        assert c.charge(Category.COMM, 0.5) == 1.5
+        assert c.now == 1.5
+
+    def test_breakdown_matches_now(self):
+        c = LogicalClock()
+        c.charge(Category.COMPUTE, 1.0)
+        c.charge(Category.COMM, 2.0)
+        c.charge(Category.BALANCE_COMM, 0.25)
+        b = c.breakdown()
+        assert b.total == pytest.approx(c.now)
+        assert b.compute == 1.0 and b.comm == 2.0 and b.balance_comm == 0.25
+
+    @pytest.mark.parametrize("bad", [-1.0, math.nan, math.inf])
+    def test_rejects_bad_durations(self, bad):
+        with pytest.raises(ConfigurationError):
+            LogicalClock().charge(Category.COMPUTE, bad)
+
+    def test_zero_charge_is_noop_in_time(self):
+        c = LogicalClock()
+        c.charge(Category.COMM, 0.0)
+        assert c.now == 0.0
+
+
+class TestSyncTo:
+    def test_jumps_forward(self):
+        c = LogicalClock()
+        c.sync_to(3.0, Category.COMM)
+        assert c.now == 3.0
+        assert c.breakdown().comm == 3.0
+
+    def test_never_goes_backward(self):
+        c = LogicalClock()
+        c.charge(Category.COMPUTE, 5.0)
+        c.sync_to(3.0, Category.COMM)
+        assert c.now == 5.0
+        assert c.breakdown().comm == 0.0
+
+
+class TestBalanceSections:
+    def test_reroutes_categories(self):
+        c = LogicalClock()
+        c.open_balance_section()
+        c.charge(Category.COMPUTE, 1.0)
+        c.charge(Category.COMM, 2.0)
+        c.close_balance_section()
+        c.charge(Category.COMPUTE, 4.0)
+        b = c.breakdown()
+        assert b.balance_compute == 1.0
+        assert b.balance_comm == 2.0
+        assert b.compute == 4.0
+        assert b.balance == 3.0
+
+    def test_nesting(self):
+        c = LogicalClock()
+        c.open_balance_section()
+        c.open_balance_section()
+        c.close_balance_section()
+        c.charge(Category.COMM, 1.0)  # still inside the outer section
+        c.close_balance_section()
+        assert c.breakdown().balance_comm == 1.0
+
+    def test_unbalanced_close_raises(self):
+        with pytest.raises(ConfigurationError):
+            LogicalClock().close_balance_section()
+
+
+class TestCategory:
+    def test_flags(self):
+        assert Category.BALANCE_COMM.is_balance and Category.BALANCE_COMM.is_comm
+        assert Category.COMM.is_comm and not Category.COMM.is_balance
+        assert Category.COMPUTE.is_balance is False
+
+
+class TestTimeBreakdown:
+    def test_aggregates(self):
+        b = TimeBreakdown(compute=1, comm=2, balance_compute=3, balance_comm=4)
+        assert b.total == 10
+        assert b.balance == 7
+        assert b.communication == 6
+        assert b.computation == 4
+
+    def test_merged_max(self):
+        a = TimeBreakdown(compute=1, comm=5)
+        b = TimeBreakdown(compute=3, comm=2, balance_comm=1)
+        m = a.merged_max(b)
+        assert (m.compute, m.comm, m.balance_comm) == (3, 5, 1)
+
+    def test_as_dict_keys(self):
+        d = TimeBreakdown().as_dict()
+        assert set(d) == {
+            "compute", "comm", "balance_compute", "balance_comm", "balance",
+            "total",
+        }
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(Category)),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        ),
+        max_size=50,
+    )
+)
+def test_property_breakdown_sums_to_now(charges):
+    """sum(breakdown) == now under any charge sequence."""
+    c = LogicalClock()
+    for cat, dur in charges:
+        c.charge(cat, dur)
+    assert c.breakdown().total == pytest.approx(c.now, rel=1e-9, abs=1e-12)

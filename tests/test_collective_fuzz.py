@@ -1,0 +1,103 @@
+"""Property fuzzing of the collective layer: random programs of mixed
+primitives must match a serial reference model and keep clocks synchronised."""
+
+import operator
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import run_spmd, zero_cost_model
+
+OPS = ["combine", "prefix", "allgather", "broadcast", "alltoall", "exchange"]
+
+
+def serial_reference(program, p):
+    """What the distributed run must produce, computed serially."""
+    outputs = [[] for _ in range(p)]
+    for step, (op, arg) in enumerate(program):
+        values = [(rank + 1) * (step + 1 + arg) for rank in range(p)]
+        if op == "combine":
+            expect = sum(values)
+            for r in range(p):
+                outputs[r].append(expect)
+        elif op == "prefix":
+            acc = 0
+            for r in range(p):
+                acc += values[r]
+                outputs[r].append(acc)
+        elif op == "allgather":
+            for r in range(p):
+                outputs[r].append(tuple(values))
+        elif op == "broadcast":
+            root = arg % p
+            for r in range(p):
+                outputs[r].append(values[root])
+        elif op == "alltoall":
+            # rank r sends r*p + d to destination d.
+            for r in range(p):
+                outputs[r].append(tuple(s * p + r for s in range(p)))
+        elif op == "exchange":
+            for r in range(p):
+                partner = r ^ 1
+                outputs[r].append(values[partner] if partner < p else None)
+    return outputs
+
+
+def distributed_program(program):
+    def prog(ctx):
+        out = []
+        for step, (op, arg) in enumerate(program):
+            mine = (ctx.rank + 1) * (step + 1 + arg)
+            if op == "combine":
+                out.append(ctx.comm.combine(mine, operator.add))
+            elif op == "prefix":
+                out.append(ctx.comm.prefix_sum(mine))
+            elif op == "allgather":
+                out.append(tuple(ctx.comm.global_concat(mine)))
+            elif op == "broadcast":
+                root = arg % ctx.size
+                out.append(ctx.comm.broadcast(
+                    mine if ctx.rank == root else None, root=root))
+            elif op == "alltoall":
+                sends = [np.array([ctx.rank * ctx.size + d])
+                         for d in range(ctx.size)]
+                recv = ctx.comm.alltoallv(sends)
+                out.append(tuple(int(r[0]) for r in recv))
+            elif op == "exchange":
+                partner = ctx.rank ^ 1
+                partner = partner if partner < ctx.size else None
+                out.append(ctx.comm.pairwise_exchange(partner, mine))
+        return out
+
+    return prog
+
+
+@settings(max_examples=20)
+@given(
+    p=st.integers(1, 6),
+    program=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(0, 7)),
+        min_size=1, max_size=12,
+    ),
+)
+def test_property_random_collective_programs(p, program):
+    res = run_spmd(distributed_program(program), p,
+                   cost_model=zero_cost_model())
+    assert res.values == serial_reference(program, p)
+
+
+@settings(max_examples=10)
+@given(
+    p=st.integers(2, 6),
+    program=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(0, 7)),
+        min_size=1, max_size=8,
+    ),
+)
+def test_property_clocks_agree_after_synchronising_ops(p, program):
+    """After any program ending in a combine, all clocks are equal (every
+    collective synchronises to the max)."""
+    program = program + [("combine", 0)]
+    res = run_spmd(distributed_program(program), p)
+    assert len(set(res.clocks)) == 1

@@ -1,0 +1,276 @@
+"""Collectives: semantic correctness + the paper's exact cost formulas."""
+
+import math
+import operator
+
+import numpy as np
+import pytest
+
+from repro.errors import RankMismatchError, WorkerError
+from repro.machine import CostModel, payload_words, run_spmd, zero_cost_model
+from repro.machine.cost_model import ComputeCosts
+
+# A cost model with easy numbers for hand-checking formulas.
+EASY = CostModel(
+    tau=1.0,
+    mu=0.01,
+    compute=ComputeCosts(
+        partition=0, select_deterministic=0, select_randomized=0,
+        sort_per_cmp=0, scan=0, binary_search_step=0, bucket_level=0,
+        rng_draw=0,
+    ),
+    name="easy",
+)
+
+
+class TestPayloadWords:
+    def test_none_is_zero(self):
+        assert payload_words(None) == 0.0
+
+    def test_scalar_is_one(self):
+        assert payload_words(3) == 1.0
+        assert payload_words(2.5) == 1.0
+        assert payload_words(np.float64(1.0)) == 1.0
+
+    def test_array_counts_8byte_words(self):
+        assert payload_words(np.zeros(10, dtype=np.float64)) == 10.0
+        assert payload_words(np.zeros(10, dtype=np.int32)) == 5.0
+
+    def test_sequence_sums(self):
+        assert payload_words([1, 2.0, np.zeros(3)]) == 5.0
+
+    def test_bytes(self):
+        assert payload_words(b"x" * 16) == 2.0
+
+
+class TestSemantics:
+    def test_broadcast_delivers_roots_value(self):
+        def prog(ctx):
+            return ctx.comm.broadcast("hello" if ctx.rank == 2 else None, root=2)
+
+        res = run_spmd(prog, 5)
+        assert res.values == ["hello"] * 5
+
+    def test_combine_allreduce(self):
+        def prog(ctx):
+            return ctx.comm.combine(ctx.rank + 1, operator.add)
+
+        res = run_spmd(prog, 4)
+        assert res.values == [10, 10, 10, 10]
+
+    def test_combine_with_custom_op(self):
+        def prog(ctx):
+            return ctx.comm.combine(ctx.rank, max)
+
+        assert run_spmd(prog, 6).values == [5] * 6
+
+    def test_prefix_inclusive(self):
+        def prog(ctx):
+            return ctx.comm.prefix_sum(ctx.rank + 1)
+
+        assert run_spmd(prog, 4).values == [1, 3, 6, 10]
+
+    def test_prefix_exclusive(self):
+        def prog(ctx):
+            return ctx.comm.exscan_sum(ctx.rank + 1)
+
+        assert run_spmd(prog, 4).values == [0, 1, 3, 6]
+
+    def test_gather_root_only(self):
+        def prog(ctx):
+            return ctx.comm.gather(ctx.rank * 2, root=1)
+
+        res = run_spmd(prog, 3)
+        assert res.values[1] == [0, 2, 4]
+        assert res.values[0] is None and res.values[2] is None
+
+    def test_global_concat_everywhere(self):
+        def prog(ctx):
+            return ctx.comm.global_concat(chr(ord("a") + ctx.rank))
+
+        assert run_spmd(prog, 3).values == [["a", "b", "c"]] * 3
+
+    def test_alltoallv_transposes(self):
+        def prog(ctx):
+            sends = [np.array([ctx.rank * 10 + d]) for d in range(ctx.size)]
+            recv = ctx.comm.alltoallv(sends)
+            return [int(r[0]) for r in recv]
+
+        res = run_spmd(prog, 4)
+        for d in range(4):
+            assert res.values[d] == [s * 10 + d for s in range(4)]
+
+    def test_alltoallv_none_slots(self):
+        def prog(ctx):
+            sends = [None] * ctx.size
+            if ctx.rank == 0:
+                sends[1] = np.arange(3)
+            recv = ctx.comm.alltoallv(sends)
+            return [None if r is None else r.sum() for r in recv]
+
+        res = run_spmd(prog, 3)
+        assert res.values[1][0] == 3
+        assert res.values[2] == [None, None, None]
+
+    def test_gather_concat_array(self):
+        def prog(ctx):
+            arr = np.full(ctx.rank, ctx.rank, dtype=np.int64)
+            g = ctx.comm.gather_concat_array(arr)
+            return None if g is None else g.tolist()
+
+        res = run_spmd(prog, 4)
+        assert res.values[0] == [1, 2, 2, 3, 3, 3]
+
+    def test_pairwise_exchange_swaps(self):
+        def prog(ctx):
+            partner = ctx.rank ^ 1
+            return ctx.comm.pairwise_exchange(partner, f"from{ctx.rank}")
+
+        res = run_spmd(prog, 4)
+        assert res.values == ["from1", "from0", "from3", "from2"]
+
+    def test_pairwise_exchange_with_idle_rank(self):
+        def prog(ctx):
+            if ctx.rank == 2:
+                return ctx.comm.pairwise_exchange(None, None)
+            partner = ctx.rank ^ 1
+            return ctx.comm.pairwise_exchange(partner, ctx.rank)
+
+        res = run_spmd(prog, 3)
+        assert res.values == [1, 0, None]
+
+
+class TestCostFormulas:
+    """Each primitive advances the clock by exactly the Section 2.2 cost."""
+
+    def run_time(self, prog, p):
+        return run_spmd(prog, p, cost_model=EASY).simulated_time
+
+    def test_broadcast_cost(self):
+        # (tau + mu*m) * ceil(log2 p); m = 10 words, p = 8 -> 3 rounds.
+        def prog(ctx):
+            ctx.comm.broadcast(np.zeros(10) if ctx.rank == 0 else None, root=0)
+
+        assert self.run_time(prog, 8) == pytest.approx((1.0 + 0.01 * 10) * 3)
+
+    def test_combine_cost(self):
+        def prog(ctx):
+            ctx.comm.combine(1.0)
+
+        assert self.run_time(prog, 8) == pytest.approx((1.0 + 0.01) * 3)
+
+    def test_prefix_cost(self):
+        def prog(ctx):
+            ctx.comm.prefix_sum(1)
+
+        assert self.run_time(prog, 4) == pytest.approx((1.0 + 0.01) * 2)
+
+    def test_gather_cost(self):
+        # tau*ceil(log2 p) + mu*m*(p-1); m = 5 words, p = 4.
+        def prog(ctx):
+            ctx.comm.gather(np.zeros(5), root=0)
+
+        assert self.run_time(prog, 4) == pytest.approx(1.0 * 2 + 0.01 * 5 * 3)
+
+    def test_global_concat_cost(self):
+        def prog(ctx):
+            ctx.comm.global_concat(np.zeros(5))
+
+        assert self.run_time(prog, 4) == pytest.approx(1.0 * 2 + 0.01 * 5 * 3)
+
+    def test_alltoallv_cost_uses_max_traffic(self):
+        # rank 0 sends 10 words to each of 3 peers (t_out = 30); everyone
+        # else sends nothing. t = 30; max_msgs = 3.
+        def prog(ctx):
+            sends = [None] * ctx.size
+            if ctx.rank == 0:
+                for d in range(1, ctx.size):
+                    sends[d] = np.zeros(10)
+            ctx.comm.alltoallv(sends)
+
+        assert self.run_time(prog, 4) == pytest.approx(1.0 * 3 + 2 * 0.01 * 30)
+
+    def test_alltoallv_self_send_is_free(self):
+        def prog(ctx):
+            sends = [None] * ctx.size
+            sends[ctx.rank] = np.zeros(100)  # local copy only
+            ctx.comm.alltoallv(sends)
+
+        assert self.run_time(prog, 4) == pytest.approx(0.0)
+
+    def test_pairwise_round_costs_slowest_pair(self):
+        # Pair (0,1) swaps 100 words vs pair (2,3) swaps 1 word:
+        # the round costs tau + mu*100 for everyone.
+        def prog(ctx):
+            partner = ctx.rank ^ 1
+            payload = np.zeros(100) if ctx.rank < 2 else np.zeros(1)
+            ctx.comm.pairwise_exchange(partner, payload)
+
+        assert self.run_time(prog, 4) == pytest.approx(1.0 + 0.01 * 100)
+
+    def test_single_rank_collectives_are_free(self):
+        def prog(ctx):
+            ctx.comm.broadcast("x", root=0)
+            ctx.comm.combine(1)
+            ctx.comm.gather(1)
+
+        assert self.run_time(prog, 1) == pytest.approx(0.0)
+
+    def test_clocks_synchronise_to_slowest(self):
+        # Rank 1 computes 10s before the barrier; after one collective all
+        # clocks read >= 10s + cost.
+        def prog(ctx):
+            if ctx.rank == 1:
+                ctx.charge_compute(10.0)
+            ctx.comm.combine(1)
+            return ctx.clock.now
+
+        res = run_spmd(prog, 4, cost_model=EASY)
+        expect = 10.0 + (1.0 + 0.01) * 2
+        assert all(v == pytest.approx(expect) for v in res.values)
+
+
+class TestMismatchDetection:
+    def test_diverged_collectives_raise(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.combine(1)
+            else:
+                ctx.comm.broadcast(1, root=0)
+
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 2)
+        assert isinstance(ei.value.cause, RankMismatchError)
+
+    def test_inconsistent_pairing_raises(self):
+        def prog(ctx):
+            # 0 pairs with 1, but 1 pairs with 2: invalid.
+            partner = {0: 1, 1: 2, 2: 0}[ctx.rank]
+            ctx.comm.pairwise_exchange(partner, ctx.rank)
+
+        with pytest.raises(WorkerError):
+            run_spmd(prog, 3)
+
+    def test_alltoallv_wrong_slot_count(self):
+        def prog(ctx):
+            ctx.comm.alltoallv([None])  # wrong length
+
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 3)
+        assert isinstance(ei.value.cause, RankMismatchError)
+
+
+class TestDeterminism:
+    def test_same_program_same_simulated_time(self):
+        def prog(ctx):
+            rng = np.random.default_rng(ctx.rank)
+            data = rng.random(100)
+            ctx.charge_compute(float(data.sum()) * 1e-6)
+            total = ctx.comm.combine(float(data.sum()))
+            ctx.comm.gather(np.sort(data))
+            return total
+
+        r1 = run_spmd(prog, 4)
+        r2 = run_spmd(prog, 4)
+        assert r1.values == r2.values
+        assert r1.clocks == r2.clocks

@@ -1,0 +1,63 @@
+"""Reproducibility: equal seeds give bit-identical values AND simulated
+times; the paper's shared-RNG trick is implemented literally."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.selection import ALGORITHMS
+
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+class TestSeededRuns:
+    def test_identical_runs(self, algo):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(8000, seed=1)
+        a = repro.median(d, algorithm=algo, seed=99)
+        b = repro.median(d, algorithm=algo, seed=99)
+        assert a.value == b.value
+        assert a.simulated_time == b.simulated_time
+        assert a.stats.n_iterations == b.stats.n_iterations
+        assert [it.pivot for it in a.stats.iterations] == [
+            it.pivot for it in b.stats.iterations
+        ]
+
+    def test_value_independent_of_seed(self, algo):
+        # The k-th smallest is unique: seeds may change the path, never the
+        # answer.
+        m = repro.Machine(n_procs=4)
+        d = m.generate(8000, seed=1)
+        vals = {repro.median(d, algorithm=algo, seed=s).value for s in range(4)}
+        assert len(vals) == 1
+
+
+class TestSeedSensitivity:
+    def test_randomized_paths_differ_across_seeds(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(50_000, seed=1)
+        a = repro.median(d, algorithm="randomized", seed=0)
+        b = repro.median(d, algorithm="randomized", seed=1)
+        pivots_a = [it.pivot for it in a.stats.iterations]
+        pivots_b = [it.pivot for it in b.stats.iterations]
+        assert pivots_a != pivots_b  # different random pivot sequences
+
+    def test_deterministic_algorithms_ignore_seed_for_pivots(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(20_000, seed=1)
+        a = repro.median(d, algorithm="bucket_based", seed=0)
+        b = repro.median(d, algorithm="bucket_based", seed=123)
+        assert [it.pivot for it in a.stats.iterations] == [
+            it.pivot for it in b.stats.iterations
+        ]
+        assert a.simulated_time == b.simulated_time
+
+
+class TestCrossMachineStability:
+    def test_same_data_different_p_same_answer(self):
+        data = np.random.default_rng(0).random(10_000)
+        answers = set()
+        for p in [1, 2, 4, 8]:
+            m = repro.Machine(n_procs=p)
+            d = m.distribute(data)
+            answers.add(float(repro.median(d).value))
+        assert len(answers) == 1

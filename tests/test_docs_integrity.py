@@ -1,0 +1,80 @@
+"""Documentation integrity: the deliverable docs exist, cross-reference the
+real artefacts, and every public module carries a docstring."""
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestDeliverableDocs:
+    def test_design_md(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "Paper verified" in text
+        # The experiment index must cover every table/figure.
+        for exp in ["T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "H1"]:
+            assert f"| {exp} " in text, f"experiment {exp} missing from index"
+        # Substitution table present.
+        assert "CM-5" in text and "two-level" in text
+
+    def test_experiments_md(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert "paper vs" in text.lower()
+        assert "deviation d1" in text.lower()
+        # Headline measured numbers recorded.
+        assert "18.9x" in text and "9.6x" in text
+
+    def test_readme(self):
+        text = (ROOT / "README.md").read_text()
+        assert "pip install -e ." in text
+        assert "python -m repro.bench" in text
+        for example in ["quickstart", "distributed_quantiles",
+                        "parallel_sort_pivot", "load_balance_demo"]:
+            assert example in text
+
+    def test_experiment_ids_in_design_match_cli(self):
+        from repro.bench.cli import ALL_IDS
+
+        design = (ROOT / "DESIGN.md").read_text()
+        for exp_id in ALL_IDS:
+            assert exp_id in design, f"{exp_id} not documented in DESIGN.md"
+
+    def test_bench_modules_exist_per_figure(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        for expected in [
+            "bench_table1_expected.py", "bench_table2_worstcase.py",
+            "bench_fig1_algorithms.py", "bench_fig2_randomized_lb.py",
+            "bench_fig3_fastrand_lb.py", "bench_fig4_sorted_best.py",
+            "bench_fig5_lb_time_randomized.py",
+            "bench_fig6_lb_time_fastrand.py", "bench_hybrid_experiment.py",
+            "bench_ablation_partition.py", "bench_ablation_delta.py",
+            "bench_baseline_sort.py",
+        ]:
+            assert expected in benches
+
+
+class TestDocstrings:
+    def _walk_modules(self):
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue  # importing it would execute the CLI
+            yield info.name
+
+    def test_every_module_has_docstring(self):
+        missing = []
+        for name in self._walk_modules():
+            mod = importlib.import_module(name)
+            if not (mod.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_api_has_docstrings(self):
+        for obj in [repro.select, repro.median, repro.quantiles,
+                    repro.rebalance, repro.Machine, repro.DistributedArray,
+                    repro.SelectionReport]:
+            assert (obj.__doc__ or "").strip(), f"{obj} lacks a docstring"

@@ -1,0 +1,99 @@
+"""Workload generators: sizes, determinism, and shape guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    describe,
+    generate_shards,
+    shard_sizes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestShardSizes:
+    @pytest.mark.parametrize("n,p", [(10, 3), (7, 7), (0, 4), (100, 1), (5, 8)])
+    def test_sums_and_balance(self, n, p):
+        sizes = shard_sizes(n, p)
+        assert sum(sizes) == n
+        assert len(sizes) == p
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_remainder_goes_to_low_ranks(self):
+        assert shard_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shard_sizes(-1, 2)
+        with pytest.raises(ConfigurationError):
+            shard_sizes(4, 0)
+
+
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+class TestEveryDistribution:
+    def test_total_count(self, dist):
+        shards = generate_shards(1000, 7, dist, seed=1)
+        assert sum(s.size for s in shards) == 1000
+        assert len(shards) == 7
+
+    def test_deterministic_under_seed(self, dist):
+        a = generate_shards(500, 4, dist, seed=42)
+        b = generate_shards(500, 4, dist, seed=42)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_one_processor(self, dist):
+        shards = generate_shards(100, 1, dist, seed=0)
+        assert len(shards) == 1 and shards[0].size == 100
+
+    def test_describe_has_text(self, dist):
+        assert len(describe(dist)) > 5
+
+
+class TestSpecificShapes:
+    def test_sorted_is_paper_layout(self):
+        # P_i holds i*n/p .. (i+1)*n/p - 1 — globally sorted blocks.
+        shards = generate_shards(100, 4, "sorted")
+        flat = np.concatenate(shards)
+        assert np.array_equal(flat, np.arange(100))
+
+    def test_random_seeds_differ(self):
+        a = generate_shards(100, 2, "random", seed=1)
+        b = generate_shards(100, 2, "random", seed=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_all_equal(self):
+        shards = generate_shards(50, 3, "all_equal")
+        assert all(np.all(s == 42) for s in shards)
+
+    def test_few_distinct_range(self):
+        shards = generate_shards(400, 2, "few_distinct", seed=0)
+        values = np.unique(np.concatenate(shards))
+        assert values.size <= 8
+
+    def test_reverse_sorted_is_decreasing(self):
+        shards = generate_shards(64, 4, "reverse_sorted")
+        flat = np.concatenate(shards)
+        assert np.all(np.diff(flat) <= 0)
+        assert np.array_equal(np.sort(flat), np.arange(64))
+
+    def test_organ_pipe_multiset(self):
+        shards = generate_shards(100, 4, "organ_pipe")
+        flat = np.concatenate(shards)
+        assert flat.size == 100
+        assert flat.max() == 49
+
+    def test_skewed_shards_are_skewed(self):
+        shards = generate_shards(1000, 8, "skewed_shards", seed=3)
+        sizes = [s.size for s in shards]
+        assert max(sizes) >= 1000 // 2  # rank 0 hoards half
+
+    def test_zipf_heavy_head(self):
+        shards = generate_shards(2000, 2, "zipf", seed=0)
+        flat = np.concatenate(shards)
+        assert np.sum(flat == 1) > 2000 * 0.3  # zipf(1.5): ~38% mass at 1
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError, match="unknown distribution"):
+            generate_shards(10, 2, "nope")

@@ -1,0 +1,121 @@
+"""Algorithmic-shape claims from the paper's analysis, tested structurally
+(iteration counts and work evidence, not wall or simulated time)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.machine import zero_cost_model
+
+
+def iterations(algo, n, p=4, dist="random", seed=0, **kw):
+    m = repro.Machine(n_procs=p, cost_model=zero_cost_model())
+    d = m.generate(n, distribution=dist, seed=seed)
+    rep = repro.median(d, algorithm=algo, seed=seed, **kw)
+    return rep.stats
+
+
+class TestIterationGrowth:
+    def test_randomized_grows_with_log_n(self):
+        # Average over seeds: iteration count for n and n^2 should roughly
+        # double (O(log n)).
+        def avg_iters(n):
+            return np.mean([
+                iterations("randomized", n, seed=s).n_iterations
+                for s in range(6)
+            ])
+
+        small = avg_iters(1 << 10)
+        large = avg_iters(1 << 20)
+        assert 1.4 < large / small < 3.5
+
+    def test_fast_randomized_grows_much_slower(self):
+        def avg_iters(n):
+            return np.mean([
+                iterations("fast_randomized", n, seed=s).n_iterations
+                for s in range(4)
+            ])
+
+        # n grows 64x; O(log log n) iterations should grow by <= ~2 absolute.
+        small = avg_iters(1 << 14)
+        large = avg_iters(1 << 20)
+        assert large - small <= 3.0
+
+    def test_fast_randomized_fewer_iterations_than_randomized(self):
+        n = 1 << 19
+        fast = np.mean([
+            iterations("fast_randomized", n, seed=s).n_iterations
+            for s in range(4)
+        ])
+        rand = np.mean([
+            iterations("randomized", n, seed=s).n_iterations
+            for s in range(4)
+        ])
+        assert fast < rand / 2  # O(log log n) vs O(log n)
+
+
+class TestGuaranteedShrink:
+    def test_mom_discards_guaranteed_fraction(self):
+        # With balanced loads the median of medians guarantees >= ~1/4 of
+        # the keys discarded per iteration (we allow 0.80 for rounding).
+        stats = iterations("median_of_medians", 1 << 17,
+                           balancer="global_exchange")
+        for it in stats.iterations:
+            if it.n_after:
+                assert it.shrink <= 0.80
+
+    def test_bucket_weighted_median_shrinks_under_imbalance(self):
+        # The weighted median keeps the guarantee *without* balancing, even
+        # on skewed shard sizes (that is its whole point).
+        m = repro.Machine(n_procs=4, cost_model=zero_cost_model())
+        d = m.generate(1 << 16, distribution="skewed_shards", seed=1)
+        rep = repro.median(d, algorithm="bucket_based")
+        for it in rep.stats.iterations:
+            if it.n_after:
+                assert it.shrink <= 0.80
+
+    def test_unweighted_median_has_no_guarantee_note(self):
+        # Documentation-by-test: Algorithm 1 *requires* balancing; without
+        # it, iterations still converge (3-way split always discards
+        # something) but the per-iteration guarantee can be violated.
+        m = repro.Machine(n_procs=4, cost_model=zero_cost_model())
+        d = m.generate(1 << 14, distribution="skewed_shards", seed=3)
+        rep = repro.median(d, algorithm="median_of_medians", balancer="none")
+        assert rep.value == np.sort(d.gather())[(d.n + 1) // 2 - 1]
+
+
+class TestBucketEconomics:
+    def test_bucket_scans_less_than_full_rescans(self):
+        # The bucket structure's raison d'etre: per-iteration touched
+        # elements (local median + split) are a fraction of the live set.
+        m = repro.Machine(n_procs=32)
+        n = 1 << 18
+        d = m.generate(n, distribution="random", seed=2)
+        bucket = repro.median(d, algorithm="bucket_based")
+        mom = repro.median(d, algorithm="median_of_medians",
+                           balancer="global_exchange")
+        # Same pivot-quality class => similar iteration counts, but the
+        # bucket variant's compute is well below MoM's.
+        assert bucket.breakdown.computation < 0.7 * mom.breakdown.computation
+
+    def test_fast_randomized_unsuccessful_iterations_are_rare(self):
+        rates = []
+        for s in range(5):
+            stats = iterations("fast_randomized", 1 << 18, seed=s)
+            rates.append(
+                stats.unsuccessful_iterations / max(stats.n_iterations, 1)
+            )
+        assert np.mean(rates) < 0.5  # the +-sqrt(|S| log n) bracket works
+
+
+class TestEndgame:
+    def test_endgame_size_at_most_threshold(self):
+        for algo in ["randomized", "median_of_medians", "bucket_based"]:
+            stats = iterations(algo, 1 << 15, p=4)
+            if not stats.found_by_pivot:
+                assert stats.endgame_n <= 16  # p^2
+
+    def test_fast_randomized_endgame_floor(self):
+        stats = iterations("fast_randomized", 1 << 16, p=4)
+        if not stats.found_by_pivot:
+            assert stats.endgame_n <= 2048  # Algorithm 4's constant C

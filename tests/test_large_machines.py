@@ -1,0 +1,56 @@
+"""Large simulated machines: the paper's upper range (p up to 128) and
+awkward processor counts."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.machine import run_spmd
+
+
+class TestManyRanks:
+    def test_collectives_at_p128(self):
+        def prog(ctx):
+            total = ctx.comm.combine(1)
+            off = ctx.comm.exscan_sum(1)
+            return total, off
+
+        res = run_spmd(prog, 128)
+        assert all(t == 128 for t, _ in res.values)
+        assert [o for _, o in res.values] == list(range(128))
+
+    def test_selection_at_p64(self):
+        m = repro.Machine(n_procs=64)
+        n = 1 << 16
+        d = m.generate(n, distribution="random", seed=9)
+        rep = repro.median(d, algorithm="randomized")
+        assert rep.value == np.sort(d.gather())[(n + 1) // 2 - 1]
+
+    def test_selection_at_awkward_p(self):
+        # Non-power-of-two, prime processor count.
+        m = repro.Machine(n_procs=37)
+        n = 20_000
+        d = m.generate(n, distribution="sorted", seed=0)
+        rep = repro.median(d, algorithm="fast_randomized",
+                           balancer="dimension_exchange")
+        assert rep.value == np.sort(d.gather())[(n + 1) // 2 - 1]
+
+    def test_paper_full_width_grid_point(self):
+        # The paper's widest machine: p=128, sorted worst case, balanced.
+        m = repro.Machine(n_procs=128)
+        n = 1 << 17
+        d = m.generate(n, distribution="sorted", seed=1)
+        rep = repro.median(d, algorithm="randomized",
+                           balancer="global_exchange")
+        assert rep.value == np.sort(d.gather())[(n + 1) // 2 - 1]
+        assert rep.stats.balance_invocations > 0
+
+    def test_simulated_time_scales_down_with_p(self):
+        # Strong scaling sanity at fixed n (compute-dominated regime).
+        n = 1 << 19
+        times = {}
+        for p in (4, 32):
+            m = repro.Machine(n_procs=p)
+            d = m.generate(n, distribution="random", seed=2)
+            times[p] = repro.median(d, algorithm="bucket_based").simulated_time
+        assert times[32] < times[4]

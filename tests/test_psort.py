@@ -1,0 +1,118 @@
+"""Parallel sample sort and global-rank lookup."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, WorkerError
+from repro.kernels import CostedKernels
+from repro.machine import run_spmd
+from repro.psort import element_at_global_rank, is_globally_sorted, sample_sort
+
+
+def run_sort(shards, p=None):
+    p = p if p is not None else len(shards)
+
+    def prog(ctx, shard):
+        return sample_sort(ctx, CostedKernels(ctx), shard)
+
+    return run_spmd(prog, p, rank_args=[(s,) for s in shards]).values
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_sorts_random_data(self, p):
+        rng = np.random.default_rng(p)
+        shards = [rng.random(100) for _ in range(p)]
+        runs = run_sort(shards)
+        assert is_globally_sorted(runs)
+        merged = np.concatenate([r for r in runs if r.size])
+        assert np.array_equal(merged, np.sort(np.concatenate(shards)))
+
+    def test_sorted_input(self):
+        shards = [np.arange(r * 25, (r + 1) * 25, dtype=float) for r in range(4)]
+        runs = run_sort(shards)
+        assert is_globally_sorted(runs)
+
+    def test_reverse_distributed_input(self):
+        shards = [np.arange(100 - r * 25, 75 - r * 25, -1, dtype=float)
+                  for r in range(4)]
+        runs = run_sort(shards)
+        assert is_globally_sorted(runs)
+        assert sum(r.size for r in runs) == 100
+
+    def test_duplicates(self):
+        shards = [np.full(50, 1.0), np.full(50, 2.0), np.full(50, 1.0)]
+        runs = run_sort(shards)
+        assert is_globally_sorted(runs)
+        assert sum(r.size for r in runs) == 150
+
+    def test_empty_shards_mixed(self):
+        shards = [np.array([]), np.arange(10.0), np.array([]), np.arange(5.0)]
+        runs = run_sort(shards)
+        assert is_globally_sorted(runs)
+        assert sum(r.size for r in runs) == 15
+
+    def test_all_empty(self):
+        runs = run_sort([np.array([])] * 3)
+        assert all(r.size == 0 for r in runs)
+
+    def test_uneven_sizes(self):
+        rng = np.random.default_rng(0)
+        shards = [rng.random(s) for s in [200, 1, 0, 37]]
+        runs = run_sort(shards)
+        assert is_globally_sorted(runs)
+        merged = np.concatenate([r for r in runs if r.size])
+        assert np.array_equal(merged, np.sort(np.concatenate(shards)))
+
+
+class TestElementAtGlobalRank:
+    def test_matches_sorted_oracle(self):
+        rng = np.random.default_rng(1)
+        shards = [rng.random(40) for _ in range(4)]
+        full_sorted = np.sort(np.concatenate(shards))
+
+        def prog(ctx, shard):
+            run = sample_sort(ctx, CostedKernels(ctx), shard)
+            return [element_at_global_rank(ctx, run, r) for r in (1, 80, 160)]
+
+        res = run_spmd(prog, 4, rank_args=[(s,) for s in shards])
+        for vals in res.values:
+            assert vals == [full_sorted[0], full_sorted[79], full_sorted[159]]
+
+    def test_out_of_range_rank(self):
+        def prog(ctx, shard):
+            run = sample_sort(ctx, CostedKernels(ctx), shard)
+            return element_at_global_rank(ctx, run, 999)
+
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 2, rank_args=[(np.arange(3.0),), (np.arange(3.0),)])
+        assert isinstance(ei.value.cause, ConfigurationError)
+
+
+class TestIsGloballySorted:
+    def test_accepts_sorted(self):
+        assert is_globally_sorted([np.array([1, 2]), np.array([3, 4])])
+
+    def test_rejects_overlap(self):
+        assert not is_globally_sorted([np.array([1, 5]), np.array([3, 9])])
+
+    def test_rejects_local_disorder(self):
+        assert not is_globally_sorted([np.array([2, 1])])
+
+    def test_ignores_empty_runs(self):
+        assert is_globally_sorted([np.array([]), np.array([1]), np.array([])])
+
+
+@given(st.lists(st.lists(st.integers(-100, 100), max_size=60), min_size=1,
+                max_size=6))
+def test_property_sample_sort_is_a_sort(shard_lists):
+    shards = [np.array(s, dtype=np.int64) for s in shard_lists]
+    runs = run_sort(shards, p=len(shards))
+    assert is_globally_sorted(runs)
+    live = [r for r in runs if r.size]
+    merged = np.concatenate(live) if live else np.array([])
+    inp = [np.asarray(s) for s in shards if np.asarray(s).size]
+    expect = np.sort(np.concatenate(inp)) if inp else np.array([])
+    assert np.array_equal(merged, expect)

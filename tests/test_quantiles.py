@@ -1,0 +1,52 @@
+"""The quantiles() convenience API."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+
+
+class TestQuantiles:
+    def test_matches_sorted_oracle(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(10_000, distribution="gaussian", seed=2)
+        ref = np.sort(d.gather())
+        qs = [0.01, 0.25, 0.5, 0.9, 0.999, 1.0]
+        reports = repro.quantiles(d, qs)
+        for q, rep in zip(qs, reports):
+            k = max(1, math.ceil(q * d.n))
+            assert rep.value == ref[k - 1]
+            assert rep.k == k
+
+    def test_median_equivalence(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(999, seed=5)
+        assert repro.quantiles(d, [0.5])[0].value == repro.median(d).value
+
+    def test_forwards_kwargs(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(5000, seed=1)
+        reps = repro.quantiles(d, [0.5], algorithm="bucket_based")
+        assert reps[0].algorithm == "bucket_based"
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(100, seed=0)
+        with pytest.raises(ConfigurationError):
+            repro.quantiles(d, [bad])
+
+    def test_empty_list(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(100, seed=0)
+        assert repro.quantiles(d, []) == []
+
+    def test_tiny_quantile_maps_to_rank_one(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(1000, seed=3)
+        rep = repro.quantiles(d, [1e-9])[0]
+        assert rep.k == 1
+        assert rep.value == np.sort(d.gather())[0]

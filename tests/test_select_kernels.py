@@ -1,0 +1,167 @@
+"""Sequential selection kernels: three implementations vs a sorting oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.kernels.select import (
+    local_median,
+    median_rank,
+    select_cost,
+    select_deterministic,
+    select_introselect,
+    select_kth,
+    select_randomized,
+)
+from repro.machine.cost_model import CM5
+
+METHODS = ["deterministic", "randomized", "introselect"]
+
+
+def oracle(arr, k):
+    return np.sort(arr)[k - 1]
+
+
+@pytest.fixture(params=METHODS)
+def method(request):
+    return request.param
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_uniform_random(self, method, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.random(257)
+        for k in [1, 2, 64, 129, 256, 257]:
+            assert select_kth(arr, k, method) == oracle(arr, k)
+
+    def test_integers_with_duplicates(self, method):
+        rng = np.random.default_rng(7)
+        arr = rng.integers(0, 10, 500)
+        for k in [1, 250, 500]:
+            assert select_kth(arr, k, method) == oracle(arr, k)
+
+    def test_all_equal(self, method):
+        arr = np.full(100, 3.5)
+        assert select_kth(arr, 50, method) == 3.5
+
+    def test_sorted_input(self, method):
+        arr = np.arange(1000)
+        assert select_kth(arr, 400, method) == 399
+
+    def test_reverse_sorted(self, method):
+        arr = np.arange(1000)[::-1].copy()
+        assert select_kth(arr, 400, method) == 399
+
+    def test_single_element(self, method):
+        assert select_kth(np.array([42.0]), 1, method) == 42.0
+
+    def test_two_elements(self, method):
+        arr = np.array([9, 4])
+        assert select_kth(arr, 1, method) == 4
+        assert select_kth(arr, 2, method) == 9
+
+    def test_negative_values(self, method):
+        arr = np.array([-5.0, 3.0, -1.0, 0.0, 2.0])
+        assert select_kth(arr, 2, method) == -1.0
+
+    def test_large_array_median(self, method):
+        rng = np.random.default_rng(3)
+        arr = rng.normal(size=50_001)
+        k = median_rank(arr.size)
+        assert select_kth(arr, k, method) == np.median(arr)
+
+
+class TestValidation:
+    def test_empty_raises(self, method):
+        with pytest.raises(ConfigurationError):
+            select_kth(np.array([]), 1, method)
+
+    @pytest.mark.parametrize("k", [0, -1, 6])
+    def test_rank_out_of_range(self, method, k):
+        with pytest.raises(ConfigurationError):
+            select_kth(np.arange(5), k, method)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            select_kth(np.arange(5), 1, "bogus")
+
+    def test_unknown_cost_method(self):
+        with pytest.raises(ConfigurationError):
+            select_cost(CM5, 10, "bogus")
+
+
+class TestMedianRank:
+    @pytest.mark.parametrize("n,expect", [(1, 1), (2, 1), (3, 2), (4, 2),
+                                          (5, 3), (100, 50), (101, 51)])
+    def test_paper_definition(self, n, expect):
+        # Paper: median = element of rank ceil(N/2).
+        assert median_rank(n) == expect
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            median_rank(0)
+
+    def test_local_median(self, method):
+        arr = np.array([5, 1, 3])
+        assert local_median(arr, method) == 3
+
+
+class TestImplementations:
+    def test_randomized_respects_rng(self):
+        arr = np.random.default_rng(0).random(1000)
+        r1 = select_randomized(arr, 500, np.random.default_rng(1))
+        r2 = select_randomized(arr, 500, np.random.default_rng(2))
+        assert r1 == r2 == oracle(arr, 500)  # value independent of stream
+
+    def test_deterministic_handles_tiny_groups(self):
+        # Sizes around the groups-of-5 boundary and the sort cutoff.
+        for n in [1, 4, 5, 6, 31, 32, 33, 34, 35, 36, 159, 161]:
+            arr = np.random.default_rng(n).permutation(n).astype(float)
+            for k in {1, (n + 1) // 2, n}:
+                assert select_deterministic(arr, k) == float(k - 1)
+
+    def test_introselect_matches(self):
+        arr = np.random.default_rng(9).integers(0, 1000, 777)
+        assert select_introselect(arr, 123) == oracle(arr, 123)
+
+
+class TestCosts:
+    def test_deterministic_costs_more(self):
+        det = select_cost(CM5, 1000, "deterministic")
+        rnd = select_cost(CM5, 1000, "randomized")
+        assert det > 5 * rnd
+
+    def test_cost_linear(self):
+        assert select_cost(CM5, 2000, "randomized") == pytest.approx(
+            2 * select_cost(CM5, 1000, "randomized")
+        )
+
+    def test_introselect_charged_as_randomized_class(self):
+        assert select_cost(CM5, 100, "introselect") == pytest.approx(
+            select_cost(CM5, 100, "randomized")
+        )
+
+
+@given(
+    arrays(np.int64, st.integers(1, 300), elements=st.integers(-1000, 1000)),
+    st.data(),
+)
+def test_property_all_methods_agree_with_oracle(arr, data):
+    k = data.draw(st.integers(1, arr.size))
+    expect = oracle(arr, k)
+    rng = np.random.default_rng(0)
+    assert select_introselect(arr, k) == expect
+    assert select_randomized(arr, k, rng) == expect
+    assert select_deterministic(arr, k) == expect
+
+
+@given(arrays(np.float64, st.integers(1, 200),
+              elements=st.floats(allow_nan=False, allow_infinity=False,
+                                 width=32)))
+def test_property_median_is_true_median(arr):
+    k = median_rank(arr.size)
+    assert select_deterministic(arr, k) == np.sort(arr)[k - 1]

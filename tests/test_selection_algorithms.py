@@ -1,0 +1,228 @@
+"""The four selection algorithms (+hybrids) against a sorting oracle.
+
+This is the core correctness grid: every algorithm x input distribution x
+machine size x target rank, plus the algorithm-specific behaviours the paper
+describes (iteration counts, balancing defaults, duplicate handling).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.selection import ALGORITHMS
+
+ALGOS = sorted(ALGORITHMS)
+N = 3000
+
+
+def oracle(darr, k):
+    return np.sort(darr.gather())[k - 1]
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestCorrectnessGrid:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("dist", ["random", "sorted"])
+    def test_median_everywhere(self, algo, p, dist):
+        m = repro.Machine(n_procs=p)
+        d = m.generate(N, distribution=dist, seed=17)
+        rep = repro.median(d, algorithm=algo, seed=5)
+        assert rep.value == oracle(d, (N + 1) // 2)
+
+    @pytest.mark.parametrize("dist", [
+        "reverse_sorted", "gaussian", "zipf", "few_distinct", "all_equal",
+        "organ_pipe", "skewed_shards",
+    ])
+    def test_stress_distributions(self, algo, dist):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, distribution=dist, seed=3)
+        k = N // 3
+        rep = repro.select(d, k, algorithm=algo, seed=1)
+        assert rep.value == oracle(d, k)
+
+    @pytest.mark.parametrize("k", [1, 2, N - 1, N])
+    def test_extreme_ranks(self, algo, k):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, distribution="random", seed=23)
+        rep = repro.select(d, k, algorithm=algo, seed=2)
+        assert rep.value == oracle(d, k)
+
+    def test_tiny_input(self, algo):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(5, distribution="random", seed=0)
+        for k in range(1, 6):
+            assert repro.select(d, k, algorithm=algo).value == oracle(d, k)
+
+    def test_n_smaller_than_p(self, algo):
+        m = repro.Machine(n_procs=8)
+        d = m.generate(3, distribution="random", seed=4)
+        assert repro.select(d, 2, algorithm=algo).value == oracle(d, 2)
+
+    def test_invalid_rank(self, algo):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(10, seed=0)
+        with pytest.raises(repro.ReproError):
+            repro.select(d, 0, algorithm=algo)
+        with pytest.raises(repro.ReproError):
+            repro.select(d, 11, algorithm=algo)
+
+    @pytest.mark.parametrize("balancer", [
+        "none", "modified_omlb", "dimension_exchange", "global_exchange", "omlb",
+    ])
+    def test_every_balancer_pairing(self, algo, balancer):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, distribution="sorted", seed=9)
+        k = N // 2
+        rep = repro.select(d, k, algorithm=algo, balancer=balancer, seed=7)
+        assert rep.value == oracle(d, k)
+
+    def test_input_shards_not_mutated(self, algo):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, distribution="random", seed=31)
+        before = [s.copy() for s in d.shards]
+        repro.median(d, algorithm=algo)
+        for a, b in zip(before, d.shards):
+            assert np.array_equal(a, b)
+
+    def test_report_fields(self, algo):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, seed=2)
+        rep = repro.median(d, algorithm=algo)
+        assert rep.algorithm == algo
+        assert rep.n == N and rep.p == 4
+        assert rep.simulated_time > 0
+        assert rep.wall_time > 0
+        assert rep.breakdown.total == pytest.approx(rep.simulated_time)
+        assert rep.stats.n_iterations >= 0
+
+
+class TestStatsEvidence:
+    def test_iterations_shrink_n(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(20_000, seed=1)
+        rep = repro.median(d, algorithm="randomized")
+        for it in rep.stats.iterations:
+            if it.n_after:
+                assert it.n_after < it.n_before
+
+    def test_mom_guaranteed_shrink_fraction(self):
+        # Median-of-medians guarantees >= ~1/4 discarded with balanced loads.
+        m = repro.Machine(n_procs=4)
+        d = m.generate(40_000, seed=6)
+        rep = repro.median(d, algorithm="median_of_medians")
+        for it in rep.stats.iterations[:-1]:
+            if it.n_after:
+                assert it.shrink <= 0.80
+
+    def test_randomized_iteration_count_logn(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(1 << 16, seed=8)
+        rep = repro.median(d, algorithm="randomized")
+        # Expected ~log2(n / p^2) with generous slack.
+        assert rep.stats.n_iterations <= 3 * 16
+
+    def test_fast_randomized_iteration_count_loglogn(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(1 << 18, seed=8)
+        rep = repro.median(d, algorithm="fast_randomized")
+        assert rep.stats.n_iterations <= 10  # O(log log n) + rescues
+
+    def test_balance_invocations_counted(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(20_000, distribution="sorted", seed=1)
+        rep = repro.median(d, algorithm="randomized", balancer="global_exchange")
+        assert rep.stats.balance_invocations == sum(
+            1 for it in rep.stats.iterations if it.balanced
+        )
+        assert rep.stats.balance_invocations > 0
+        assert rep.balance_time > 0
+
+    def test_no_balancer_means_zero_balance_time(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(20_000, seed=1)
+        rep = repro.median(d, algorithm="randomized", balancer="none")
+        assert rep.balance_time == 0.0
+
+    def test_mom_default_balancer_is_global_exchange(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(20_000, seed=1)
+        rep = repro.median(d, algorithm="median_of_medians")  # "default"
+        assert rep.balancer == "GlobalExchange"
+        assert rep.balance_time > 0
+
+    def test_randomized_default_is_no_balancer(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(20_000, seed=1)
+        rep = repro.median(d, algorithm="randomized")
+        assert rep.balancer == "NoBalance"
+
+    def test_found_by_pivot_consistency(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, distribution="all_equal", seed=0)
+        rep = repro.median(d, algorithm="randomized")
+        # All-equal input: the first pivot hits the target band immediately.
+        assert rep.stats.found_by_pivot
+        assert rep.stats.n_iterations == 1
+
+    def test_endgame_threshold_override(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(N, seed=1)
+        rep = repro.median(d, algorithm="randomized", endgame_threshold=N + 1)
+        # Threshold above n: straight to the endgame, no iterations.
+        assert rep.stats.n_iterations == 0
+        assert rep.value == oracle(d, (N + 1) // 2)
+
+    def test_max_iterations_guard_fires(self):
+        m = repro.Machine(n_procs=2)
+        d = m.generate(50_000, seed=1)
+        with pytest.raises(repro.WorkerError) as ei:
+            repro.median(d, algorithm="randomized", max_iterations=0)
+        assert isinstance(ei.value.cause, repro.ConvergenceError)
+
+
+class TestDuplicateTermination:
+    """DESIGN.md deviation #1: 3-way split terminates where 2-way livelocks."""
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_all_equal_terminates_quickly(self, algo):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(4096, distribution="all_equal", seed=0)
+        rep = repro.median(d, algorithm=algo)
+        assert rep.value == 42
+        assert rep.stats.n_iterations <= 3
+
+    def test_two_values_alternating(self):
+        m = repro.Machine(n_procs=4)
+        shards = [np.array([0, 1] * 200) for _ in range(4)]
+        d = m.from_shards(shards)
+        for k, expect in [(1, 0), (800, 0), (801, 1), (1600, 1)]:
+            rep = repro.select(d, k, algorithm="randomized")
+            assert rep.value == expect
+
+
+class TestHybrids:
+    def test_hybrid_faster_than_deterministic_parent(self):
+        m = repro.Machine(n_procs=8)
+        d = m.generate(1 << 17, seed=4)
+        mom = repro.median(d, algorithm="median_of_medians")
+        hyb = repro.median(d, algorithm="hybrid_median_of_medians")
+        assert hyb.value == mom.value
+        assert hyb.simulated_time < mom.simulated_time
+
+    def test_hybrid_stats_algorithm_name(self):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, seed=4)
+        rep = repro.median(d, algorithm="hybrid_bucket_based")
+        assert rep.stats.algorithm == "hybrid_bucket_based"
+
+
+class TestImplOverride:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_override_changes_nothing_observable(self, algo):
+        m = repro.Machine(n_procs=4)
+        d = m.generate(N, distribution="random", seed=12)
+        a = repro.median(d, algorithm=algo, seed=3)
+        b = repro.median(d, algorithm=algo, seed=3, impl_override="introselect")
+        assert a.value == b.value
+        assert a.simulated_time == pytest.approx(b.simulated_time)
+        assert a.stats.n_iterations == b.stats.n_iterations

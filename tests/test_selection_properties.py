@@ -1,0 +1,71 @@
+"""Hypothesis property tests over the full selection stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.machine import zero_cost_model
+
+ALGOS = ["median_of_medians", "bucket_based", "randomized", "fast_randomized"]
+
+
+@st.composite
+def distributed_problem(draw):
+    p = draw(st.integers(1, 6))
+    shards = [
+        np.array(
+            draw(st.lists(st.integers(-1000, 1000), min_size=0, max_size=60)),
+            dtype=np.int64,
+        )
+        for _ in range(p)
+    ]
+    n = int(sum(s.size for s in shards))
+    if n == 0:
+        shards[0] = np.array([draw(st.integers(-10, 10))], dtype=np.int64)
+        n = 1
+    k = draw(st.integers(1, n))
+    return shards, k
+
+
+@settings(max_examples=15)
+@given(problem=distributed_problem(), algo=st.sampled_from(ALGOS),
+       seed=st.integers(0, 3))
+def test_property_selection_matches_oracle(problem, algo, seed):
+    shards, k = problem
+    machine = repro.Machine(n_procs=len(shards), cost_model=zero_cost_model())
+    d = machine.from_shards(shards)
+    expect = np.sort(d.gather())[k - 1]
+    rep = repro.select(d, k, algorithm=algo, seed=seed)
+    assert rep.value == expect
+
+
+@settings(max_examples=10)
+@given(problem=distributed_problem(),
+       balancer=st.sampled_from(
+           ["none", "omlb", "modified_omlb", "dimension_exchange",
+            "global_exchange"]))
+def test_property_balancer_never_changes_answer(problem, balancer):
+    shards, k = problem
+    machine = repro.Machine(n_procs=len(shards), cost_model=zero_cost_model())
+    d = machine.from_shards(shards)
+    expect = np.sort(d.gather())[k - 1]
+    rep = repro.select(d, k, algorithm="randomized", balancer=balancer, seed=1)
+    assert rep.value == expect
+
+
+@settings(max_examples=10)
+@given(problem=distributed_problem())
+def test_property_stats_invariants(problem):
+    shards, k = problem
+    machine = repro.Machine(n_procs=len(shards), cost_model=zero_cost_model())
+    d = machine.from_shards(shards)
+    rep = repro.select(d, k, algorithm="randomized", seed=2)
+    # n strictly decreases across iterations; k stays within [1, n].
+    prev = rep.stats.n
+    for it in rep.stats.iterations:
+        assert it.n_before == prev
+        if it.n_after:
+            assert 1 <= it.k_after <= it.n_after
+            assert it.n_after < it.n_before
+        prev = it.n_after

@@ -1,0 +1,99 @@
+"""Unit tests for hypercube/topology helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import (
+    hypercube_dimensions,
+    hypercube_partner,
+    hypercube_rounds,
+    is_power_of_two,
+    log2_ceil,
+    next_power_of_two,
+    tree_children,
+)
+
+
+class TestPowers:
+    @pytest.mark.parametrize("p,expect", [(1, True), (2, True), (3, False),
+                                          (4, True), (6, False), (128, True)])
+    def test_is_power_of_two(self, p, expect):
+        assert is_power_of_two(p) is expect
+
+    @pytest.mark.parametrize("p,expect", [(1, 1), (2, 2), (3, 4), (5, 8),
+                                          (8, 8), (9, 16), (100, 128)])
+    def test_next_power_of_two(self, p, expect):
+        assert next_power_of_two(p) == expect
+
+    @pytest.mark.parametrize("p,expect", [(1, 0), (2, 1), (3, 2), (4, 2),
+                                          (7, 3), (8, 3), (128, 7)])
+    def test_log2_ceil(self, p, expect):
+        assert log2_ceil(p) == expect
+
+    def test_rejects_nonpositive(self):
+        for fn in (next_power_of_two, log2_ceil):
+            with pytest.raises(ConfigurationError):
+                fn(0)
+
+
+class TestPartners:
+    def test_partner_is_involution(self):
+        p = 16
+        for dim in range(4):
+            for r in range(p):
+                q = hypercube_partner(r, dim, p)
+                assert q is not None
+                assert hypercube_partner(q, dim, p) == r
+
+    def test_partner_missing_on_non_pow2(self):
+        # p=6: rank 2 ^ 4 = 6 which does not exist.
+        assert hypercube_partner(2, 2, 6) is None
+        assert hypercube_partner(1, 0, 6) == 0
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            hypercube_partner(9, 0, 4)
+
+
+class TestRounds:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_pow2_rounds_cover_all_ranks(self, p):
+        rounds = list(hypercube_rounds(p))
+        assert len(rounds) == log2_ceil(p)
+        for pairs in rounds:
+            seen = [r for pair in pairs for r in pair]
+            assert sorted(seen) == list(range(p))  # perfect matching
+
+    def test_non_pow2_rounds_are_disjoint(self):
+        for pairs in hypercube_rounds(6):
+            seen = [r for pair in pairs for r in pair]
+            assert len(seen) == len(set(seen))
+            assert all(0 <= r < 6 for r in seen)
+
+
+class TestTreeChildren:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 13, 16, 128])
+    def test_binomial_tree_spans_all_ranks(self, p):
+        # Union of parent->child edges reaches every rank exactly once.
+        reached = {0}
+        frontier = [0]
+        depth = 0
+        while frontier:
+            nxt = []
+            for r in frontier:
+                for c in tree_children(r, p):
+                    assert c not in reached
+                    reached.add(c)
+                    nxt.append(c)
+            frontier = nxt
+            depth += 1
+            assert depth <= log2_ceil(p) + 1
+        assert reached == set(range(p))
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_property_children_in_range(self, p):
+        for r in range(p):
+            for c in tree_children(r, p):
+                assert r < c < p

@@ -1,0 +1,87 @@
+"""Weighted median kernel (bucket-based algorithm's pivot rule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels.select import median_rank
+from repro.kernels.weighted_median import weighted_median, weighted_median_cost
+from repro.machine.cost_model import CM5
+
+
+class TestBasics:
+    def test_equal_weights_match_paper_median(self):
+        # With unit weights the weighted median must equal the element of
+        # rank ceil(p/2) — the paper's median definition.
+        for n in range(1, 12):
+            vals = np.arange(n, dtype=float)
+            w = np.ones(n)
+            assert weighted_median(vals, w) == vals[median_rank(n) - 1]
+
+    def test_weight_dominance(self):
+        vals = np.array([1.0, 2.0, 3.0])
+        w = np.array([1.0, 1.0, 100.0])
+        assert weighted_median(vals, w) == 3.0
+
+    def test_zero_weights_ignored(self):
+        vals = np.array([0.0, 5.0, 10.0])
+        w = np.array([0.0, 1.0, 0.0])
+        assert weighted_median(vals, w) == 5.0
+
+    def test_unsorted_input(self):
+        vals = np.array([9.0, 1.0, 5.0])
+        w = np.array([1.0, 1.0, 1.0])
+        assert weighted_median(vals, w) == 5.0
+
+    def test_duplicate_values(self):
+        vals = np.array([2.0, 2.0, 8.0])
+        w = np.array([1.0, 1.0, 1.0])
+        assert weighted_median(vals, w) == 2.0
+
+    def test_definition_cumulative_weight(self):
+        # Smallest value whose cumulative weight >= W/2.
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        w = np.array([1.0, 1.0, 1.0, 5.0])  # W = 8, W/2 = 4
+        assert weighted_median(vals, w) == 4.0
+
+
+class TestValidation:
+    def test_all_zero_weights(self):
+        with pytest.raises(ConfigurationError):
+            weighted_median(np.array([1.0]), np.array([0.0]))
+
+    def test_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            weighted_median(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            weighted_median(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestCost:
+    def test_positive_and_growing(self):
+        assert weighted_median_cost(CM5, 4) > 0
+        assert weighted_median_cost(CM5, 128) > weighted_median_cost(CM5, 4)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            st.integers(min_value=0, max_value=50),
+        ),
+        min_size=1,
+        max_size=40,
+    ).filter(lambda pairs: any(w > 0 for _, w in pairs))
+)
+def test_property_matches_expanded_median(pairs):
+    """The weighted median equals the plain lower median of the multiset in
+    which each value is repeated `weight` times."""
+    vals = np.array([v for v, _ in pairs])
+    wts = np.array([w for _, w in pairs], dtype=float)
+    expanded = np.repeat(vals, [int(w) for w in wts])
+    expect = np.sort(expanded)[median_rank(expanded.size) - 1]
+    assert weighted_median(vals, wts) == expect
