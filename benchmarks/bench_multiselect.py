@@ -1,0 +1,83 @@
+"""Single-pass multi-rank selection vs repeated single-rank selection.
+
+The claim pinned here (the batching PR's acceptance bar): answering ``q``
+evenly spaced quantile ranks with ONE ``multi_select`` launch costs less
+simulated time than ``q`` independent ``select`` launches over the same
+data, for every ``q >= 3``, on the paper's random workload — and the
+advantage grows with ``q``.
+
+Full grid: ``python -m repro.bench multiselect --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_multiselect_point
+
+N = 128 * KILO
+P = 8
+
+
+def _bench_pair(benchmark, algorithm, q, **kwargs):
+    batched, repeated = benchmark.pedantic(
+        run_multiselect_point,
+        args=(algorithm, N, P, q),
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["q"] = q
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["p"] = P
+    benchmark.extra_info["batched_simulated_s"] = batched.simulated_time
+    benchmark.extra_info["repeated_simulated_s"] = repeated.simulated_time
+    benchmark.extra_info["speedup"] = (
+        repeated.simulated_time / batched.simulated_time
+    )
+    return batched, repeated
+
+
+@pytest.mark.parametrize("algorithm", [
+    "fast_randomized", "randomized", "bucket_based",
+])
+@pytest.mark.parametrize("q", [3, 5, 9])
+def test_one_pass_beats_repeated(benchmark, algorithm, q):
+    batched, repeated = _bench_pair(benchmark, algorithm, q)
+    assert batched.simulated_time < repeated.simulated_time
+
+
+def test_advantage_grows_with_q(benchmark):
+    """More targets amortise better: the q=9 speedup must beat q=3's."""
+    b3, r3 = run_multiselect_point("fast_randomized", N, P, 3)
+    b9, r9 = _bench_pair(benchmark, "fast_randomized", 9)
+    assert (r9.simulated_time / b9.simulated_time) > (
+        r3.simulated_time / b3.simulated_time
+    )
+
+
+def test_quantiles_api_single_launch(benchmark):
+    """quantiles() itself rides the batched path: its per-quantile reports
+    share one launch's simulated time instead of summing q launches."""
+    import numpy as np
+
+    import repro
+
+    machine = repro.Machine(n_procs=P)
+    data = machine.generate(N, distribution="random", seed=0)
+    qs = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+    reports = benchmark.pedantic(
+        repro.quantiles, args=(data, qs), rounds=1, iterations=1
+    )
+    ref = np.sort(data.gather())
+    for q, rep in zip(qs, reports):
+        k = max(1, int(np.ceil(q * N)))
+        assert rep.value == ref[k - 1]
+    # One launch: every report carries the same batched metrics.
+    assert len({rep.simulated_time for rep in reports}) == 1
+    repeated = sum(
+        repro.select(data, rep.k).simulated_time for rep in reports
+    )
+    benchmark.extra_info["batched_simulated_s"] = reports[0].simulated_time
+    benchmark.extra_info["repeated_simulated_s"] = repeated
+    assert reports[0].simulated_time < repeated

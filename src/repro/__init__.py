@@ -9,6 +9,10 @@ The package provides:
 * :func:`repro.select` / :func:`repro.median` — the paper's four parallel
   selection algorithms (median of medians, bucket-based, randomized, fast
   randomized) plus the Section 5 hybrids;
+* :func:`repro.multi_select` / :func:`repro.quantiles` — single-pass
+  multi-rank selection: a whole set of target ranks answered by one
+  contraction (one SPMD launch) through the shared engine of
+  :mod:`repro.selection.engine`;
 * :func:`repro.rebalance` — the paper's load balancers (order maintaining,
   modified order maintaining, dimension exchange, global exchange);
 * :mod:`repro.bench` — a harness regenerating every table and figure of the
@@ -20,8 +24,10 @@ See README.md for a tour and DESIGN.md for the system inventory.
 from .core.api import (
     DistributedArray,
     Machine,
+    MultiSelectionReport,
     SelectionReport,
     median,
+    multi_select,
     quantiles,
     rebalance,
     select,
@@ -48,8 +54,10 @@ __version__ = "1.0.0"
 __all__ = [
     "DistributedArray",
     "Machine",
+    "MultiSelectionReport",
     "SelectionReport",
     "median",
+    "multi_select",
     "quantiles",
     "rebalance",
     "select",

@@ -20,7 +20,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..selection.fast_randomized import FastRandomizedParams
-from .harness import KILO, PointResult, run_point, run_series
+from .harness import (
+    KILO,
+    PointResult,
+    run_multiselect_point,
+    run_point,
+    run_series,
+)
 from .report import render_bar_rows, render_series_table
 
 __all__ = ["FigureResult", "EXPERIMENTS", "SCALES", "run_experiment"]
@@ -289,6 +295,46 @@ def ablation_partition(scale: str = "small") -> FigureResult:
                         text, points)
 
 
+def multiselect(scale: str = "small") -> FigureResult:
+    """Single-pass multi-rank selection: one ``multi_select`` launch over
+    ``q`` evenly spaced quantile ranks versus ``q`` independent ``select``
+    launches (the pre-batching ``quantiles()`` behaviour). The batched path
+    scans each surviving key once per contraction level instead of once
+    per target, so its advantage grows with ``q``."""
+    cfg = _scale(scale)
+    n = cfg["n_big"]
+    rows: list[str] = []
+    points: list[PointResult] = []
+    for algo in ("fast_randomized", "randomized", "bucket_based"):
+        for p in cfg["bar_p_sweep"]:
+            for q in (3, 5, 9):
+                batched, repeated = run_multiselect_point(
+                    algo, n, p, q, distribution="random", balancer="none",
+                    trials=cfg["trials"],
+                )
+                points.extend([batched, repeated])
+                speedup = (
+                    repeated.simulated_time / batched.simulated_time
+                    if batched.simulated_time else float("inf")
+                )
+                rows.append(
+                    f"  {algo:>16s} p={p:<3d} q={q:<2d} "
+                    f"batched={batched.simulated_time * 1e3:9.2f} ms  "
+                    f"repeated={repeated.simulated_time * 1e3:9.2f} ms  "
+                    f"speedup={speedup:5.2f}x"
+                )
+    text = (
+        f"== Multi-rank selection: one launch vs q launches, "
+        f"n={n // KILO}k, random data ==\n"
+        "multi_select answers every rank in ONE contraction (interval\n"
+        "forking + batched endgame); 'repeated' pays one full contraction\n"
+        "per rank, which is what quantiles() used to cost.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("multiselect", "Single-pass multi-rank selection",
+                        text, points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -299,6 +345,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "hybrid": hybrid,
     "ablation-delta": ablation_delta,
     "ablation-partition": ablation_partition,
+    "multiselect": multiselect,
 }
 
 

@@ -16,13 +16,23 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from ..core.api import Machine, select
+import numpy as np
+
+from ..core.api import Machine, multi_select, select
 from ..errors import ConfigurationError
 from ..kernels.select import median_rank
 from ..machine.cost_model import CM5, CostModel
 from ..selection.fast_randomized import FastRandomizedParams
 
-__all__ = ["PointResult", "run_point", "run_series", "PAPER_P_SWEEP", "KILO"]
+__all__ = [
+    "PointResult",
+    "run_point",
+    "run_multiselect_point",
+    "run_series",
+    "quantile_ranks",
+    "PAPER_P_SWEEP",
+    "KILO",
+]
 
 KILO = 1024
 #: The paper's processor sweep (Section 5).
@@ -126,3 +136,82 @@ def run_series(
 ) -> list[PointResult]:
     """One curve of a figure: fixed everything, sweep p."""
     return [run_point(algorithm, n, p, **kwargs) for p in p_sweep]
+
+
+def quantile_ranks(n: int, q: int) -> list[int]:
+    """``q`` evenly spaced quantile ranks of ``n`` keys (the batched
+    workload: deciles for ``q = 9``, etc.)."""
+    return [max(1, int(np.ceil(n * i / (q + 1)))) for i in range(1, q + 1)]
+
+
+def run_multiselect_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    q: int,
+    distribution: str = "random",
+    balancer: str = "none",
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+) -> tuple[PointResult, PointResult]:
+    """One batched-vs-repeated grid point: ``q`` evenly spaced quantile
+    ranks answered by one :func:`repro.multi_select` launch versus ``q``
+    independent :func:`repro.select` launches over the same data.
+
+    Returns ``(batched, repeated)`` as :class:`PointResult` rows (the
+    repeated row's simulated/balance/wall times and iterations are summed
+    over its ``q`` launches — the cost the batched path replaces).
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    machine = Machine(n_procs=p, cost_model=cost_model or CM5)
+    ks = quantile_ranks(n, q)
+    b_sims, b_bals, b_walls, b_iters = [], [], [], []
+    r_sims, r_bals, r_walls, r_iters = [], [], [], []
+    for t in range(trials):
+        data = machine.generate(n, distribution=distribution, seed=seed + 1000 * t)
+        rep = multi_select(
+            data, ks, algorithm=algorithm, balancer=balancer, seed=seed + t,
+            impl_override=impl_override,
+        )
+        b_sims.append(rep.simulated_time)
+        b_bals.append(rep.balance_time)
+        b_walls.append(rep.wall_time)
+        b_iters.append(rep.stats.n_iterations)
+        sim = bal = wall = 0.0
+        iters = 0
+        for k in ks:
+            one = select(
+                data, k, algorithm=algorithm, balancer=balancer,
+                seed=seed + t, impl_override=impl_override,
+            )
+            sim += one.simulated_time
+            bal += one.balance_time
+            wall += one.wall_time
+            iters += one.stats.n_iterations
+        r_sims.append(sim)
+        r_bals.append(bal)
+        r_walls.append(wall)
+        r_iters.append(iters)
+
+    def _mk(label: str, sims, bals, walls, iters) -> PointResult:
+        return PointResult(
+            algorithm=label,
+            balancer=balancer,
+            distribution=distribution,
+            n=n,
+            p=p,
+            simulated_time=statistics.mean(sims),
+            balance_time=statistics.mean(bals),
+            wall_time=statistics.mean(walls),
+            iterations=statistics.mean(iters),
+            trials=trials,
+            simulated_times=list(sims),
+        )
+
+    return (
+        _mk(f"{algorithm}/multi_select(q={q})", b_sims, b_bals, b_walls, b_iters),
+        _mk(f"{algorithm}/{q}x select", r_sims, r_bals, r_walls, r_iters),
+    )

@@ -3,8 +3,10 @@
 from .api import (
     DistributedArray,
     Machine,
+    MultiSelectionReport,
     SelectionReport,
     median,
+    multi_select,
     quantiles,
     rebalance,
     select,
@@ -13,8 +15,10 @@ from .api import (
 __all__ = [
     "DistributedArray",
     "Machine",
+    "MultiSelectionReport",
     "SelectionReport",
     "median",
+    "multi_select",
     "quantiles",
     "rebalance",
     "select",

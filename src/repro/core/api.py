@@ -1,5 +1,5 @@
 """Public API: :class:`Machine`, :class:`DistributedArray`, :func:`select`,
-:func:`median`, :func:`rebalance`.
+:func:`multi_select`, :func:`median`, :func:`quantiles`, :func:`rebalance`.
 
 Quickstart::
 
@@ -10,18 +10,24 @@ Quickstart::
     report = repro.median(data)
     print(report.value, report.simulated_time, report.stats.n_iterations)
 
+    # q ranks in ONE SPMD launch (quantiles() batches through this too):
+    multi = repro.multi_select(data, [1000, data.n // 2, data.n])
+    print(multi.values, multi.simulated_time)
+
 The API is deliberately small: a :class:`Machine` owns the simulated
 processor count and cost model; a :class:`DistributedArray` is the data laid
 out across its processors; :func:`select` runs any of the paper's algorithms
 and returns a :class:`SelectionReport` with the answer, the simulated-time
-breakdown, and per-iteration statistics.
+breakdown, and per-iteration statistics; :func:`multi_select` answers a
+whole *set* of ranks in one contraction and returns a
+:class:`MultiSelectionReport`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -34,14 +40,24 @@ from ..kernels.select import median_rank
 from ..machine.clock import TimeBreakdown
 from ..machine.cost_model import CM5, CostModel
 from ..machine.engine import SPMDResult, SPMDRuntime
-from ..selection import ALGORITHMS, SelectionConfig, SelectionStats
+from ..selection import (
+    ALGORITHMS,
+    STRATEGIES,
+    MultiSelectionStats,
+    SelectionConfig,
+    SelectionStats,
+    contract_multi_select,
+    sort_based_multi_select,
+)
 from ..selection.fast_randomized import FastRandomizedParams
 
 __all__ = [
     "Machine",
     "DistributedArray",
     "SelectionReport",
+    "MultiSelectionReport",
     "select",
+    "multi_select",
     "median",
     "quantiles",
     "rebalance",
@@ -137,11 +153,9 @@ class DistributedArray:
 
 
 @dataclass
-class SelectionReport:
-    """Everything a run of :func:`select` produced."""
+class _RunReport:
+    """Metrics every selection launch produces (single- or multi-rank)."""
 
-    value: object
-    k: int
     n: int
     p: int
     algorithm: str
@@ -149,13 +163,39 @@ class SelectionReport:
     simulated_time: float
     wall_time: float
     breakdown: TimeBreakdown
-    stats: SelectionStats
-    result: SPMDResult = field(repr=False, default=None)
 
     @property
     def balance_time(self) -> float:
         """Simulated seconds spent load balancing (max across ranks)."""
         return self.result.balance_time if self.result else self.breakdown.balance
+
+
+@dataclass
+class SelectionReport(_RunReport):
+    """Everything a run of :func:`select` produced."""
+
+    value: object = None
+    k: int = 0
+    stats: SelectionStats = field(default_factory=SelectionStats)
+    result: Optional[SPMDResult] = field(repr=False, default=None)
+
+
+@dataclass
+class MultiSelectionReport(_RunReport):
+    """Everything a run of :func:`multi_select` produced.
+
+    ``values`` aligns with the caller's ``ks`` (duplicates included, input
+    order preserved); the simulated metrics cover the whole batched run —
+    one SPMD launch answered every rank.
+    """
+
+    values: list = field(default_factory=list)
+    ks: list[int] = field(default_factory=list)
+    stats: MultiSelectionStats = field(default_factory=MultiSelectionStats)
+    result: Optional[SPMDResult] = field(repr=False, default=None)
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 def _resolve_config(
@@ -262,6 +302,110 @@ def select(
     )
 
 
+def multi_select(
+    data: DistributedArray,
+    ks: Sequence[int],
+    algorithm: str = "fast_randomized",
+    balancer="default",
+    seed: int = 0,
+    sequential_method: str | None = None,
+    endgame_threshold: int | None = None,
+    max_iterations: int | None = None,
+    fast_params: FastRandomizedParams | None = None,
+    impl_override: str | None = None,
+) -> MultiSelectionReport:
+    """Find the keys of *every* global rank in ``ks`` in ONE SPMD launch.
+
+    The contraction engine tracks the whole set of target ranks through a
+    single iterate-shrink pass: when a pivot lands between two targets the
+    live set forks into independent sub-intervals (each over disjoint
+    keys), so the total partitioning work is ``O((n/p) log q)`` for ``q``
+    ranks instead of ``q`` full contractions, and the endgame costs one
+    Gather + Broadcast however many intervals survive. This is how
+    :func:`quantiles` computes all its cut points at once.
+
+    Parameters
+    ----------
+    data:
+        The distributed input (left untouched; shards are copied first).
+    ks:
+        Target ranks, each in ``1 <= k <= len(data)``. Duplicates and
+        arbitrary order are fine — ``values`` aligns with the input.
+    algorithm:
+        Any key of :data:`repro.selection.ALGORITHMS`. ``sort_based``
+        answers every rank from one full parallel sort; on a single
+        processor every algorithm takes a sequential one-pass
+        multi-selection fast path.
+    seed:
+        Drives every stochastic choice; equal seeds give bit-identical
+        runs (values *and* simulated times).
+
+    Returns
+    -------
+    MultiSelectionReport
+    """
+    ks = [int(k) for k in ks]
+    n = data.n
+    for k in ks:
+        if not (1 <= k <= max(n, 0)):
+            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+    _fn, cfg, balancer_name = _resolve_config(
+        algorithm, balancer, seed, sequential_method, endgame_threshold,
+        max_iterations, impl_override,
+    )
+    if algorithm.startswith("hybrid_"):
+        # Same forcing the single-rank hybrids apply: deterministic
+        # parallel structure, randomized sequential parts.
+        cfg = dataclasses.replace(cfg, sequential_method="randomized")
+    if not ks:
+        return MultiSelectionReport(
+            values=[], ks=[], n=n, p=data.p, algorithm=algorithm,
+            balancer=balancer_name, simulated_time=0.0, wall_time=0.0,
+            breakdown=TimeBreakdown(),
+            stats=MultiSelectionStats(algorithm=algorithm, n=n, p=data.p),
+        )
+    unique_ks = sorted(set(ks))
+
+    if algorithm == "sort_based":
+        def program(ctx, shard, ks_sorted, config):
+            return sort_based_multi_select(ctx, shard.copy(), ks_sorted, config)
+    else:
+        strategy_factory = STRATEGIES[algorithm]
+
+        def program(ctx, shard, ks_sorted, config):
+            return contract_multi_select(
+                ctx, shard.copy(), ks_sorted, config,
+                strategy_factory(fast_params), algorithm=algorithm,
+            )
+
+    result = data.machine.run(
+        program,
+        rank_args=[(s,) for s in data.shards],
+        args=(unique_ks, cfg),
+    )
+    all_values = [v[0] for v in result.values]
+    stats: MultiSelectionStats = result.values[0][1]
+    first = all_values[0]
+    assert all(
+        len(v) == len(first) and all(a == b for a, b in zip(v, first))
+        for v in all_values
+    ), "ranks disagree on the answers"
+    by_rank = dict(zip(unique_ks, first))
+    return MultiSelectionReport(
+        values=[by_rank[k] for k in ks],
+        ks=ks,
+        n=n,
+        p=data.p,
+        algorithm=algorithm,
+        balancer=balancer_name,
+        simulated_time=result.simulated_time,
+        wall_time=result.wall_time,
+        breakdown=result.breakdown,
+        stats=stats,
+        result=result,
+    )
+
+
 def median(data: DistributedArray, **kwargs) -> SelectionReport:
     """The paper's flagship special case: rank ``ceil(n/2)`` selection."""
     return select(data, median_rank(data.n), **kwargs)
@@ -270,22 +414,60 @@ def median(data: DistributedArray, **kwargs) -> SelectionReport:
 def quantiles(
     data: DistributedArray, qs: Sequence[float], **kwargs
 ) -> list[SelectionReport]:
-    """Exact quantiles via repeated selection (the paper's statistics
-    motivation).
+    """Exact quantiles via single-pass multi-rank selection (the paper's
+    statistics motivation, batched).
 
     ``qs`` are fractions in ``(0, 1]``; quantile ``q`` maps to rank
-    ``ceil(q * n)`` (so ``q=0.5`` is the paper's median). Returns one
-    :class:`SelectionReport` per quantile, in input order. Keyword
-    arguments are forwarded to :func:`select`.
+    ``ceil(q * n)`` (so ``q=0.5`` is the paper's median). All quantiles
+    are answered by **one** :func:`multi_select` launch — one contraction
+    over the data instead of one full selection per quantile, which is
+    where the batched path wins its ``~q``-fold saving in scanned keys.
+
+    Returns one :class:`SelectionReport` per quantile, in input order, for
+    compatibility with the historical per-quantile API; the reports share
+    the batched run's simulated metrics (``simulated_time``, ``breakdown``
+    and the iteration evidence describe the single launch that answered
+    *all* of them, so summing across reports would double-count). Keyword
+    arguments are forwarded to :func:`multi_select`.
     """
     n = data.n
-    reports = []
+    ks = []
     for q in qs:
         if not (0.0 < q <= 1.0):
             raise ConfigurationError(f"quantile {q!r} outside (0, 1]")
-        k = max(1, int(np.ceil(q * n)))
-        reports.append(select(data, k, **kwargs))
-    return reports
+        ks.append(max(1, int(np.ceil(q * n))))
+    if not ks:
+        return []
+    multi = multi_select(data, ks, **kwargs)
+    return [
+        SelectionReport(
+            value=value,
+            k=k,
+            n=n,
+            p=data.p,
+            algorithm=multi.algorithm,
+            balancer=multi.balancer,
+            simulated_time=multi.simulated_time,
+            wall_time=multi.wall_time,
+            breakdown=multi.breakdown,
+            # A per-quantile view of the shared batched evidence: correct
+            # target rank, SelectionStats-shaped, iteration records aliased
+            # from the one launch that produced every answer.
+            stats=SelectionStats(
+                algorithm=multi.stats.algorithm,
+                n=multi.stats.n,
+                p=multi.stats.p,
+                k=k,
+                iterations=multi.stats.iterations,
+                endgame_n=multi.stats.endgame_n,
+                found_by_pivot=bool(multi.stats.found_by_pivot),
+                balance_invocations=multi.stats.balance_invocations,
+                unsuccessful_iterations=multi.stats.unsuccessful_iterations,
+            ),
+            result=multi.result,
+        )
+        for k, value in zip(ks, multi.values)
+    ]
 
 
 def rebalance(

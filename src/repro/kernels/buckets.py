@@ -161,6 +161,39 @@ class LocalBuckets:
         probes = max(1, log2_ceil(max(self.n_buckets, 2)))
         return lt, eq, gt, BucketScan(touched=touched, probes=probes)
 
+    def split3_vs(self, pivot) -> tuple["LocalBuckets", "LocalBuckets", BucketScan]:
+        """Non-destructive 3-way fork at ``pivot``: (keys ``<``, keys ``>``).
+
+        Keys equal to the pivot are dropped (the caller has already resolved
+        the ranks they occupy). Wholesale buckets are shared by reference —
+        bucket arrays are never mutated in place, so the two children can
+        alias them safely; only straddling buckets are filtered (and
+        counted as touched). Used by the contraction engine when a pivot
+        lands *between* two target ranks and both sides must survive.
+        """
+        low: list[np.ndarray] = []
+        high: list[np.ndarray] = []
+        touched = 0
+        for i, b in enumerate(self._buckets):
+            if self._maxs[i] < pivot:
+                low.append(b)
+            elif self._mins[i] > pivot:
+                high.append(b)
+            else:
+                touched += int(b.size)
+                lt = b[b < pivot]
+                gt = b[b > pivot]
+                if lt.size:
+                    low.append(lt)
+                if gt.size:
+                    high.append(gt)
+        probes = max(1, log2_ceil(max(self.n_buckets, 2)))
+        return (
+            LocalBuckets(low),
+            LocalBuckets(high),
+            BucketScan(touched=touched, probes=probes),
+        )
+
     # ------------------------------------------------------------- updates
 
     def keep_lt(self, pivot) -> BucketScan:

@@ -43,6 +43,12 @@ class CostedKernels:
         self.ctx.charge_compute(_partition.partition_cost(self.model, arr.size))
         return _partition.partition_band(arr, lo, hi)
 
+    def partition_multiway(self, arr: np.ndarray, cuts) -> list[np.ndarray]:
+        self.ctx.charge_compute(
+            _partition.partition_multiway_cost(self.model, arr.size, len(cuts))
+        )
+        return _partition.partition_multiway(arr, cuts)
+
     # ------------------------------------------------------------ selection
 
     def select_kth(
@@ -74,6 +80,25 @@ class CostedKernels:
         return self.select_kth(
             arr, _select.median_rank(arr.size), method, rng=rng, impl=impl
         )
+
+    def select_multi_kth(
+        self,
+        arr: np.ndarray,
+        ks: list[int],
+        method: _select.SelectMethod,
+        rng: np.random.Generator | None = None,
+        impl: _select.SelectMethod | None = None,
+    ) -> list:
+        """Single-pass sequential selection of several sorted ranks.
+
+        Charged at ``multi_select_cost`` for ``method`` (one partition
+        cascade over ``log2(q + 1)`` levels); like :meth:`select_kth`,
+        ``impl`` may swap the executing kernel without changing the charge.
+        """
+        self.ctx.charge_compute(
+            _select.multi_select_cost(self.model, arr.size, len(ks), method)
+        )
+        return _select.select_multi_kth(arr, ks, method=impl or method, rng=rng)
 
     def sort(self, arr: np.ndarray) -> np.ndarray:
         n = max(int(arr.size), 1)

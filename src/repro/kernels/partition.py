@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..machine.cost_model import CostModel
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "count3",
     "partition_band",
     "partition_cost",
+    "partition_multiway",
+    "partition_multiway_cost",
 ]
 
 
@@ -100,3 +103,48 @@ def partition_band(arr: np.ndarray, lo, hi) -> tuple[np.ndarray, np.ndarray, np.
 def partition_cost(model: CostModel, n: int) -> float:
     """Simulated cost of one partition pass over ``n`` local elements."""
     return model.compute.partition * max(0, n)
+
+
+def partition_multiway(arr: np.ndarray, cuts) -> list[np.ndarray]:
+    """Split ``arr`` at ``c`` sorted cut values into ``2c + 1`` segments.
+
+    Segments alternate open ranges and equality bands, in value order::
+
+        (< cuts[0]), (== cuts[0]), (cuts[0], cuts[1]), (== cuts[1]), ...,
+        (> cuts[-1])
+
+    With ``c == 1`` this is exactly :func:`partition3`. The multi-rank
+    contraction engine uses it to fork the live set at *several* pivots in a
+    single pass (one iteration of single-pass multi-rank selection instead
+    of one pass per pivot). One vectorised ``searchsorted`` pair classifies
+    every element; a stable argsort groups the segments.
+    """
+    cuts = np.asarray(cuts)
+    if cuts.ndim != 1 or cuts.size == 0:
+        raise ConfigurationError(
+            "partition_multiway needs a 1-D, non-empty cut list"
+        )
+    if cuts.size > 1 and np.any(np.diff(cuts) <= 0):
+        raise ConfigurationError(
+            "cut values must be strictly ascending (dedupe first)"
+        )
+    # Element strictly between cuts j-1 and j lands in segment 2j; an
+    # element equal to cuts[j] lands in segment 2j + 1.
+    seg = np.searchsorted(cuts, arr, side="left") + np.searchsorted(
+        cuts, arr, side="right"
+    )
+    order = np.argsort(seg, kind="stable")
+    sizes = np.bincount(seg, minlength=2 * cuts.size + 1)
+    grouped = arr[order]
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    return [
+        grouped[bounds[j]: bounds[j + 1]] for j in range(2 * cuts.size + 1)
+    ]
+
+
+def partition_multiway_cost(model: CostModel, n: int, n_cuts: int) -> float:
+    """Simulated cost of a multiway partition pass: each of the ``n``
+    elements binary-searches the ``c`` cut values (``ceil(log2(c + 1))``
+    probe depth) and is moved once."""
+    depth = max(1.0, np.ceil(np.log2(max(n_cuts, 1) + 1)))
+    return model.compute.partition * max(0, n) * depth

@@ -34,12 +34,14 @@ from ..machine.cost_model import CostModel
 
 __all__ = [
     "select_kth",
+    "select_multi_kth",
     "select_deterministic",
     "select_randomized",
     "select_introselect",
     "median_rank",
     "local_median",
     "select_cost",
+    "multi_select_cost",
     "SelectMethod",
 ]
 
@@ -166,6 +168,51 @@ def local_median(
 ):
     """Median (rank ``ceil(n/2)``) of a local list."""
     return select_kth(arr, median_rank(arr.size), method=method, rng=rng)
+
+
+def select_multi_kth(
+    arr: np.ndarray,
+    ks: "list[int]",
+    method: SelectMethod = "introselect",
+    rng: np.random.Generator | None = None,
+):
+    """Values of several ranks (1-based, sorted ascending) in one pass.
+
+    ``np.partition`` accepts a list of pivot positions and places them all
+    in one introselect sweep — the sequential analogue of single-pass
+    multi-rank selection (cost model: :func:`multi_select_cost`). The
+    ``deterministic``/``randomized`` methods fall back to one
+    :func:`select_kth` per rank (their simulated cost is still charged via
+    :func:`multi_select_cost` by the costed facade).
+    """
+    if not ks:
+        return []
+    for k in ks:
+        _check_rank(arr.size, k)
+    if any(b < a for a, b in zip(ks, ks[1:])):
+        raise ConfigurationError(f"ranks must be sorted ascending, got {ks}")
+    if method == "introselect":
+        placed = np.partition(arr, [k - 1 for k in ks], kind="introselect")
+        return [placed[k - 1] for k in ks]
+    return [select_kth(arr, k, method=method, rng=rng) for k in ks]
+
+
+def multi_select_cost(
+    model: CostModel, n: int, n_ranks: int, method: SelectMethod
+) -> float:
+    """Simulated cost of selecting ``q`` ranks from ``n`` elements at once.
+
+    Multi-rank quickselect partitions the array into ``q + 1`` independent
+    slabs; every element participates in ``O(log q)`` partition levels
+    before its slab contains at most one target, then each slab pays one
+    plain selection. Charged as ``select_cost(n) * ceil(log2(q + 1))`` —
+    the single-rank case (``q == 1``) reduces exactly to
+    :func:`select_cost`.
+    """
+    if n_ranks <= 0:
+        return 0.0
+    depth = max(1.0, float(np.ceil(np.log2(n_ranks + 1))))
+    return select_cost(model, n, method) * depth
 
 
 def select_cost(model: CostModel, n: int, method: SelectMethod) -> float:

@@ -26,7 +26,12 @@ from ..errors import ConfigurationError
 from ..kernels.costed import CostedKernels
 from ..machine.engine import ProcContext
 
-__all__ = ["sample_sort", "element_at_global_rank", "is_globally_sorted"]
+__all__ = [
+    "sample_sort",
+    "element_at_global_rank",
+    "elements_at_global_ranks",
+    "is_globally_sorted",
+]
 
 
 def sample_sort(
@@ -114,6 +119,42 @@ def element_at_global_rank(
     else:
         value = None
     return ctx.comm.broadcast(value, root=owner)
+
+
+def elements_at_global_ranks(
+    ctx: ProcContext, sorted_run: np.ndarray, ranks_1based: list[int]
+) -> list:
+    """Keys of several global ranks of a distributed *sorted* array.
+
+    The batched sibling of :func:`element_at_global_rank`: one Global
+    Concatenate of run lengths locates every owner, then a single Global
+    Concatenate of each rank's contributions delivers all the keys — two
+    collectives total instead of two *per rank looked up*. The multi-rank
+    contraction engine uses it to fetch every bracket boundary of an
+    iteration at once.
+    """
+    if not ranks_1based:
+        return []
+    counts = np.array(ctx.comm.global_concat(int(sorted_run.size)), dtype=np.int64)
+    total = int(counts.sum())
+    for r in ranks_1based:
+        if not (1 <= r <= total):
+            raise ConfigurationError(
+                f"global rank {r} out of range [1, {total}]"
+            )
+    ends = np.cumsum(counts)
+    mine: list[tuple[int, object]] = []
+    for i, r in enumerate(ranks_1based):
+        owner = int(np.searchsorted(ends, r, side="left"))
+        if ctx.rank == owner:
+            within = r - (int(ends[owner - 1]) if owner else 0)
+            mine.append((i, sorted_run[within - 1]))
+    contributions = ctx.comm.global_concat(mine)
+    values: list = [None] * len(ranks_1based)
+    for chunk in contributions:
+        for i, v in chunk:
+            values[i] = v
+    return values
 
 
 def is_globally_sorted(runs: list[np.ndarray]) -> bool:

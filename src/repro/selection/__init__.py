@@ -1,5 +1,10 @@
 """The four parallel selection algorithms (paper Section 3) + hybrids.
 
+All of them share the contraction engine of :mod:`repro.selection.engine`
+(iterate-shrink-endgame with pluggable pivot strategies); each algorithm
+module contributes its pivot rule and keeps its historical SPMD entry
+point.
+
 Registry keys (used by :func:`repro.select` and the bench harness):
 
 =========================  ==============================================
@@ -11,6 +16,10 @@ Registry keys (used by :func:`repro.select` and the bench harness):
 ``hybrid_bucket_based``       Section 5 hybrid of Algorithm 2
 ``sort_based``                related-work baseline: full sort + index
 =========================  ==============================================
+
+:data:`STRATEGIES` maps the same keys to pivot-strategy factories for the
+multi-rank path (:func:`repro.multi_select`); ``sort_based`` is handled
+specially there (one full sort answers every rank).
 """
 
 from .base import (
@@ -22,12 +31,23 @@ from .base import (
     endgame,
     endgame_threshold,
 )
-from .bucket_based import bucket_based_select
-from .fast_randomized import FastRandomizedParams, fast_randomized_select
+from .bucket_based import BucketStrategy, bucket_based_select
+from .engine import (
+    ContractionEngine,
+    MultiSelectionStats,
+    PivotStrategy,
+    contract_multi_select,
+    contract_select,
+)
+from .fast_randomized import (
+    FastRandomizedParams,
+    FastRandomizedStrategy,
+    fast_randomized_select,
+)
 from .hybrid import hybrid_bucket_based_select, hybrid_median_of_medians_select
-from .median_of_medians import median_of_medians_select
-from .randomized import randomized_select
-from .sort_based import sort_based_select
+from .median_of_medians import MedianOfMediansStrategy, median_of_medians_select
+from .randomized import RandomizedStrategy, randomized_select
+from .sort_based import sort_based_multi_select, sort_based_select
 
 #: name -> (SPMD function, default sequential method, needs balancing)
 ALGORITHMS = {
@@ -40,21 +60,45 @@ ALGORITHMS = {
     "sort_based": (sort_based_select, "randomized", False),
 }
 
+#: name -> pivot-strategy factory for the multi-rank contraction path.
+#: ``fast_params`` is only meaningful for the fast randomized strategy;
+#: the hybrids reuse their parent's strategy (the API layer swaps the
+#: sequential method, exactly as the single-rank hybrids do).
+STRATEGIES = {
+    "randomized": lambda fast_params=None: RandomizedStrategy(),
+    "median_of_medians": lambda fast_params=None: MedianOfMediansStrategy(),
+    "bucket_based": lambda fast_params=None: BucketStrategy(),
+    "fast_randomized": lambda fast_params=None: FastRandomizedStrategy(fast_params),
+    "hybrid_median_of_medians": lambda fast_params=None: MedianOfMediansStrategy(),
+    "hybrid_bucket_based": lambda fast_params=None: BucketStrategy(),
+}
+
 __all__ = [
     "ALGORITHMS",
+    "STRATEGIES",
+    "ContractionEngine",
     "Decision",
     "IterationRecord",
+    "MultiSelectionStats",
+    "PivotStrategy",
     "SelectionConfig",
     "SelectionStats",
+    "contract_multi_select",
+    "contract_select",
     "decide_side",
     "endgame",
     "endgame_threshold",
+    "BucketStrategy",
     "FastRandomizedParams",
+    "FastRandomizedStrategy",
+    "MedianOfMediansStrategy",
+    "RandomizedStrategy",
     "bucket_based_select",
     "fast_randomized_select",
     "hybrid_bucket_based_select",
     "hybrid_median_of_medians_select",
     "median_of_medians_select",
     "randomized_select",
+    "sort_based_multi_select",
     "sort_based_select",
 ]

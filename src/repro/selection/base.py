@@ -128,6 +128,10 @@ class SelectionStats:
         if not rec.successful:
             self.unsuccessful_iterations += 1
 
+    def mark_found_by_pivot(self) -> None:
+        """Engine hook: a target rank was resolved by a pivot hit."""
+        self.found_by_pivot = True
+
 
 def check_rank(n: int, k: int) -> None:
     if n <= 0:

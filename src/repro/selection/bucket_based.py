@@ -12,6 +12,11 @@ Deterministic like Algorithm 1, but engineered to *avoid load balancing*:
   one bucket plus ``O(log log p)`` boundary probes instead of scanning all
   live keys.
 
+The iterate-shrink-endgame skeleton lives in
+:mod:`repro.selection.engine`; this module contributes the pivot rule
+(:class:`BucketStrategy`: weighted median of (median, count) pairs) and the
+bucketed live-set preprocessing, plus the historical SPMD entry point.
+
 Worst-case time (paper Table 2, no balancing):
 ``O(n/p (log log p + log n / log p) + tau log p log n + mu p log n)``.
 """
@@ -20,97 +25,67 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConvergenceError
 from ..kernels.buckets import default_n_buckets
-from ..kernels.costed import CostedKernels
 from ..kernels.select import median_rank
 from ..machine.engine import ProcContext
-from .base import (
-    IterationRecord,
-    SelectionConfig,
-    SelectionStats,
-    check_rank,
-    decide_side,
-    endgame,
-    endgame_threshold,
-)
+from .base import SelectionConfig, SelectionStats
+from .engine import BucketLive, PivotProposal, PivotStrategy, contract_select
 
-__all__ = ["bucket_based_select"]
+__all__ = ["bucket_based_select", "BucketStrategy"]
+
+
+class BucketStrategy(PivotStrategy):
+    """Steps 1-3: local median through the bucket walk, Gather of
+    (median, live-count) pairs, P0 takes the *weighted* median, Broadcast.
+
+    The live set is the bucket structure itself (Step 0 preprocessing);
+    partitioning and discarding touch only straddling buckets. Never
+    load-balanced.
+    """
+
+    name = "bucket_based"
+
+    def _start(self) -> None:
+        self.rng = np.random.default_rng((self.cfg.seed, self.ctx.rank, 0xB0))
+
+    def make_live(self, arr: np.ndarray) -> BucketLive:
+        # Step 0: preprocess the local keys into O(log p) ordered buckets.
+        return BucketLive(
+            self.K.build_buckets(arr, default_n_buckets(self.ctx.size))
+        )
+
+    def propose(self, interval) -> PivotProposal:
+        ctx, K, cfg = self.ctx, self.K, self.cfg
+        ni = interval.live.count
+
+        # Step 1: local median through the bucket walk (binary search for
+        # the bucket + in-bucket sequential selection).
+        if ni:
+            local_med, scan = interval.live.buckets.kth(median_rank(ni))
+            K.charge_scan_evidence(scan, select_method=cfg.sequential_method)
+        else:
+            local_med = None
+
+        # Steps 2-3: gather (median, live-count) pairs; P0 takes the
+        # *weighted* median; broadcast.
+        pairs = ctx.comm.gather((local_med, ni), root=0)
+        if ctx.rank == 0:
+            vals = np.array([v for v, c in pairs if v is not None])
+            wts = np.array(
+                [c for v, c in pairs if v is not None], dtype=np.float64
+            )
+            wm = K.weighted_median(vals, wts)
+        else:
+            wm = None
+        return PivotProposal(ctx.comm.broadcast(wm, root=0))
+
+    @property
+    def endgame_rng(self) -> np.random.Generator:
+        return self.rng
 
 
 def bucket_based_select(
     ctx: ProcContext, shard: np.ndarray, k: int, cfg: SelectionConfig
 ) -> tuple[object, SelectionStats]:
     """SPMD entry point for the bucket-based deterministic algorithm."""
-    K = CostedKernels(ctx)
-    p = ctx.size
-    arr = np.asarray(shard)
-    n = int(ctx.comm.allreduce_sum(int(arr.size)))
-    check_rank(n, k)
-    stats = SelectionStats(algorithm="bucket_based", n=n, p=p, k=k)
-    rng = np.random.default_rng((cfg.seed, ctx.rank, 0xB0))
-    threshold = endgame_threshold(cfg, p)
-    guard = cfg.iteration_guard(n)
-
-    # Step 0: preprocess the local keys into O(log p) ordered buckets.
-    buckets = K.build_buckets(arr, default_n_buckets(p))
-
-    while n > threshold:
-        if len(stats.iterations) > guard:
-            raise ConvergenceError(
-                f"bucket_based exceeded {guard} iterations (n={n})"
-            )
-        n_before, k_before = n, k
-        ni = buckets.total
-
-        # Step 1: local median through the bucket walk (binary search for
-        # the bucket + in-bucket sequential selection).
-        if ni:
-            local_med, scan = buckets.kth(median_rank(ni))
-            K.charge_scan_evidence(scan, select_method=cfg.sequential_method)
-        else:
-            local_med = None
-
-        # Step 2-3: gather (median, live-count) pairs; P0 takes the
-        # *weighted* median; broadcast.
-        pairs = ctx.comm.gather((local_med, ni), root=0)
-        if ctx.rank == 0:
-            vals = np.array([v for v, c in pairs if v is not None])
-            wts = np.array([c for v, c in pairs if v is not None], dtype=np.float64)
-            wm = K.weighted_median(vals, wts)
-        else:
-            wm = None
-        wm = ctx.comm.broadcast(wm, root=0)
-
-        # Steps 4-5: 3-way counts against the pivot using only straddling
-        # buckets; Combine the global counts.
-        lt, eq, gt, scan = buckets.count3_vs(wm)
-        K.charge_scan_evidence(scan)
-        c_less, c_eq = ctx.comm.combine(np.array([lt, eq], dtype=np.int64))
-        c_less, c_eq = int(c_less), int(c_eq)
-
-        # Step 6: decide and discard wholesale buckets.
-        decision = decide_side(k, c_less, c_eq, n)
-        if decision.found:
-            stats.record(IterationRecord(
-                n_before=n_before, n_after=0, k_before=k_before, k_after=k,
-                pivot=wm, local_before=ni, local_after=0, balanced=False,
-            ))
-            stats.found_by_pivot = True
-            return wm, stats
-        if decision.keep_low:
-            K.charge_scan_evidence(buckets.keep_lt(wm))
-        else:
-            K.charge_scan_evidence(buckets.keep_gt(wm))
-        n, k = decision.new_n, decision.new_k
-        stats.record(IterationRecord(
-            n_before=n_before, n_after=n, k_before=k_before, k_after=k,
-            pivot=wm, local_before=ni, local_after=buckets.total,
-            balanced=False,
-        ))
-
-    # Steps 7-8: endgame on the surviving keys.
-    stats.endgame_n = n
-    value = endgame(ctx, K, buckets.as_array(), k, cfg.sequential_method,
-                    rng=rng, impl=cfg.impl_override)
-    return value, stats
+    return contract_select(ctx, shard, k, cfg, BucketStrategy())

@@ -17,6 +17,15 @@ Two refinements from the paper are implemented:
   paper found best experimentally (DESIGN.md deviation #3 documents the
   reconstruction of the garbled pseudocode).
 
+The iterate-shrink-endgame skeleton lives in
+:mod:`repro.selection.engine`; this module contributes the sampling rule
+(:class:`FastRandomizedStrategy`). When an interval carries **several**
+target ranks (``repro.multi_select``), one sorted sample brackets *all* of
+them at once — per-target rank brackets are merged, every boundary key is
+fetched with a single batched lookup, and the live keys fork multiway in
+one partition pass (the regular-sampling multi-selection of
+arXiv:1611.05549).
+
 Expected time (paper Table 1): ``O(n/p + (tau + mu) log p log log n)``.
 """
 
@@ -27,21 +36,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..balance.base import NoBalance
-from ..errors import ConvergenceError
-from ..kernels.costed import CostedKernels
 from ..machine.engine import ProcContext
-from ..psort.sample_sort import element_at_global_rank, sample_sort
-from .base import (
-    IterationRecord,
-    SelectionConfig,
-    SelectionStats,
-    check_rank,
-    endgame,
-    endgame_threshold,
+from ..psort.sample_sort import (
+    element_at_global_rank,
+    elements_at_global_ranks,
+    sample_sort,
+)
+from .base import SelectionConfig, SelectionStats, endgame_threshold
+from .engine import (
+    BandProposal,
+    EndgameProposal,
+    MultiCutProposal,
+    PivotStrategy,
+    contract_select,
 )
 
-__all__ = ["fast_randomized_select", "FastRandomizedParams"]
+__all__ = ["fast_randomized_select", "FastRandomizedParams",
+           "FastRandomizedStrategy"]
 
 
 @dataclass(frozen=True)
@@ -63,45 +74,44 @@ class FastRandomizedParams:
     endgame_floor: int = 2048
 
 
-def fast_randomized_select(
-    ctx: ProcContext,
-    shard: np.ndarray,
-    k: int,
-    cfg: SelectionConfig,
-    params: FastRandomizedParams = FastRandomizedParams(),
-) -> tuple[object, SelectionStats]:
-    """SPMD entry point for fast randomized selection."""
-    K = CostedKernels(ctx)
-    p = ctx.size
-    arr = np.asarray(shard)
-    n = int(ctx.comm.allreduce_sum(int(arr.size)))
-    check_rank(n, k)
-    stats = SelectionStats(algorithm="fast_randomized", n=n, p=p, k=k)
-    local_rng = np.random.default_rng((cfg.seed, ctx.rank, 0xF5))
-    threshold = endgame_threshold(cfg, p)
-    if cfg.endgame_threshold is None:
-        # Algorithm 4's constant C: while (n > max(p^2, C)).
-        threshold = max(threshold, params.endgame_floor)
-    guard = cfg.iteration_guard(n)
-    stalled = 0
+class FastRandomizedStrategy(PivotStrategy):
+    """Steps 1-4: per-rank Bernoulli sample, parallel sample sort, bracket
+    the expected sample rank(s) by ``±sqrt(|S| log n)``, fetch the
+    bracketing keys from the sorted sample."""
 
-    while n > threshold and stalled < params.stall_limit:
-        if len(stats.iterations) > guard:
-            raise ConvergenceError(
-                f"fast_randomized exceeded {guard} iterations (n={n})"
-            )
-        n_before, k_before = n, k
-        ni = int(arr.size)
+    name = "fast_randomized"
+
+    def __init__(self, params: FastRandomizedParams | None = None):
+        self.params = params if params is not None else FastRandomizedParams()
+        self.stall_limit = self.params.stall_limit
+
+    def _start(self) -> None:
+        self.local_rng = np.random.default_rng(
+            (self.cfg.seed, self.ctx.rank, 0xF5)
+        )
+
+    def threshold(self, p: int) -> int:
+        t = endgame_threshold(self.cfg, p)
+        if self.cfg.endgame_threshold is None:
+            # Algorithm 4's constant C: while (n > max(p^2, C)).
+            t = max(t, self.params.endgame_floor)
+        return t
+
+    def propose(self, interval):
+        ctx, K, params = self.ctx, self.K, self.params
+        n = interval.n
+        ni = interval.live.count
+        arr = interval.live.arr
 
         # Step 1: per-rank sample — expected global size n^delta, each key
         # kept independently with probability n^delta / n so the expected
         # per-rank share is n_i * n^delta / n (the paper's Step 1).
         s_target = max(params.min_sample, int(math.ceil(n ** params.delta)))
         prob = min(1.0, s_target / n)
-        take = int(local_rng.binomial(ni, prob)) if ni else 0
+        take = int(self.local_rng.binomial(ni, prob)) if ni else 0
         take = min(take, ni)
         if take:
-            idx = local_rng.choice(ni, size=take, replace=False)
+            idx = self.local_rng.choice(ni, size=take, replace=False)
             sample = arr[idx]
         else:
             sample = arr[:0]
@@ -113,65 +123,53 @@ def fast_randomized_select(
         if slen == 0:
             # No rank sampled anything (tiny n): bail out to the endgame.
             # Consistent on every rank — slen came from an allreduce.
-            break
+            return EndgameProposal()
 
-        # Step 3: bracket the expected sample rank by ±sqrt(|S| log n).
-        m = -((-k * slen) // n)  # ceil(k * |S| / n)
-        spread = int(math.ceil(math.sqrt(slen * max(1.0, math.log(max(n, 2))))))
-        r1 = max(1, min(slen, m - spread))
-        r2 = max(1, min(slen, m + spread))
-
-        # Step 4: broadcast k1, k2 (owner lookup inside the sorted sample).
-        k1 = element_at_global_rank(ctx, sorted_run, r1)
-        k2 = element_at_global_rank(ctx, sorted_run, r2)
-
-        # Step 5: 3-way band split of the live keys.
-        less, middle, high = K.partition_band(arr, k1, k2)
-
-        # Steps 6-7: global counts.
-        c_less, c_mid = ctx.comm.combine(
-            np.array([less.size, middle.size], dtype=np.int64)
-        )
-        c_less, c_mid = int(c_less), int(c_mid)
-
-        # Step 8: keep the band when the target is inside; otherwise keep
-        # the near side (the paper's one-sided rescue).
-        successful = True
-        if c_less < k <= c_less + c_mid:
-            if k1 == k2:
-                # Band collapsed to a single value covering the target rank.
-                stats.record(IterationRecord(
-                    n_before=n_before, n_after=0, k_before=k_before,
-                    k_after=k, pivot=(k1, k2), local_before=ni,
-                    local_after=0, balanced=False,
-                ))
-                stats.found_by_pivot = True
-                return k1, stats
-            arr = middle
-            n, k = c_mid, k - c_less
-        elif k <= c_less:
-            successful = False  # the sample bracketed too high
-            arr = less
-            n = c_less
-        else:
-            successful = False  # bracketed too low
-            arr = high
-            n, k = n - c_less - c_mid, k - (c_less + c_mid)
-
-        stalled = stalled + 1 if n == n_before else 0
-
-        # Optional load balancing (paper: modified OMLB helps on sorted data).
-        balanced = not isinstance(cfg.balancer, NoBalance)
-        if balanced:
-            arr = cfg.balancer.rebalance(ctx, K, arr)
-        stats.record(IterationRecord(
-            n_before=n_before, n_after=n, k_before=k_before, k_after=k,
-            pivot=(k1, k2), local_before=ni, local_after=int(arr.size),
-            balanced=balanced, successful=successful,
+        # Step 3: bracket each target's expected sample rank by
+        # ±sqrt(|S| log n).
+        spread = int(math.ceil(
+            math.sqrt(slen * max(1.0, math.log(max(n, 2))))
         ))
 
-    # Steps 9-10: endgame.
-    stats.endgame_n = n
-    value = endgame(ctx, K, arr, k, cfg.sequential_method, rng=local_rng,
-                    impl=cfg.impl_override)
-    return value, stats
+        if len(interval.targets) == 1:
+            k = interval.targets[0].k
+            m = -((-k * slen) // n)  # ceil(k * |S| / n)
+            r1 = max(1, min(slen, m - spread))
+            r2 = max(1, min(slen, m + spread))
+            # Step 4: broadcast k1, k2 (owner lookup in the sorted sample).
+            k1 = element_at_global_rank(ctx, sorted_run, r1)
+            k2 = element_at_global_rank(ctx, sorted_run, r2)
+            return BandProposal(k1, k2)
+
+        # Multi-target: bracket every target, fetch ALL boundary keys in
+        # one batched lookup, and let the engine fork the interval multiway
+        # at the (deduplicated) keys. Every boundary stays a cut — even
+        # when neighbouring brackets overlap — so each target ends up in
+        # its own narrow segment and the stretches *between* targets are
+        # discarded wholesale (merging overlapping brackets instead would
+        # collapse dense targets into one giant band that barely shrinks).
+        ranks: set[int] = set()
+        for t in interval.targets:
+            m = -((-t.k * slen) // n)
+            ranks.add(max(1, min(slen, m - spread)))
+            ranks.add(max(1, min(slen, m + spread)))
+        values = elements_at_global_ranks(ctx, sorted_run, sorted(ranks))
+        cuts = np.unique(np.asarray(values))
+        return MultiCutProposal(tuple(cuts.tolist()))
+
+    @property
+    def endgame_rng(self) -> np.random.Generator:
+        return self.local_rng
+
+
+def fast_randomized_select(
+    ctx: ProcContext,
+    shard: np.ndarray,
+    k: int,
+    cfg: SelectionConfig,
+    params: FastRandomizedParams = FastRandomizedParams(),
+) -> tuple[object, SelectionStats]:
+    """SPMD entry point for fast randomized selection."""
+    return contract_select(
+        ctx, shard, k, cfg, FastRandomizedStrategy(params)
+    )

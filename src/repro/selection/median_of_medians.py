@@ -8,6 +8,10 @@ selects their median (the "median of medians"), broadcasts it as the
 estimated global median, and every processor partitions its keys around it.
 A Combine of the split counts picks the surviving side.
 
+The iterate-shrink-endgame skeleton lives in
+:mod:`repro.selection.engine`; this module contributes only the pivot rule
+(:class:`MedianOfMediansStrategy`) and the historical SPMD entry point.
+
 The algorithm *requires* load balancing between iterations (Step 7): its
 pivot guarantee assumes near-equal local counts. The paper's figures pair it
 with global exchange; that is this implementation's default when the caller
@@ -22,22 +26,56 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..balance.base import NoBalance
-from ..kernels.costed import CostedKernels
 from ..kernels.select import median_rank, select_cost, select_kth
 from ..machine.engine import ProcContext
-from .base import (
-    IterationRecord,
-    SelectionConfig,
-    SelectionStats,
-    check_rank,
-    decide_side,
-    endgame,
-    endgame_threshold,
-)
-from ..errors import ConvergenceError
+from .base import SelectionConfig, SelectionStats
+from .engine import PivotProposal, PivotStrategy, contract_select
 
-__all__ = ["median_of_medians_select"]
+__all__ = ["median_of_medians_select", "MedianOfMediansStrategy"]
+
+
+class MedianOfMediansStrategy(PivotStrategy):
+    """Steps 1-3: local median (the expensive part — the deterministic
+    constant is what Section 5 blames), Gather, P0 median of the pool,
+    Broadcast."""
+
+    name = "median_of_medians"
+
+    def _start(self) -> None:
+        self.rng = np.random.default_rng((self.cfg.seed, self.ctx.rank, 0xA1))
+
+    def propose(self, interval) -> PivotProposal:
+        ctx, K, cfg = self.ctx, self.K, self.cfg
+        ni = interval.live.count
+
+        # Step 1: local median via sequential selection.
+        if ni:
+            local_med = K.select_kth(
+                interval.live.arr, median_rank(ni), cfg.sequential_method,
+                rng=self.rng, impl=cfg.impl_override,
+            )
+        else:
+            local_med = None
+
+        # Steps 2-3: Gather medians; P0 selects their median; Broadcast.
+        medians = ctx.comm.gather(local_med, root=0)
+        if ctx.rank == 0:
+            pool = np.array([m for m in medians if m is not None])
+            ctx.charge_compute(
+                select_cost(ctx.model, pool.size, cfg.sequential_method)
+            )
+            mom = select_kth(
+                pool, median_rank(pool.size),
+                method=cfg.impl_override or cfg.sequential_method,
+                rng=self.rng,
+            )
+        else:
+            mom = None
+        return PivotProposal(ctx.comm.broadcast(mom, root=0))
+
+    @property
+    def endgame_rng(self) -> np.random.Generator:
+        return self.rng
 
 
 def median_of_medians_select(
@@ -48,80 +86,4 @@ def median_of_medians_select(
     ``cfg.sequential_method`` is ``"deterministic"`` for the paper's
     Algorithm 1 and ``"randomized"`` for the Section 5 hybrid variant.
     """
-    K = CostedKernels(ctx)
-    p = ctx.size
-    arr = np.asarray(shard)
-    n = int(ctx.comm.allreduce_sum(int(arr.size)))
-    check_rank(n, k)
-    stats = SelectionStats(
-        algorithm="median_of_medians", n=n, p=p, k=k
-    )
-    rng = np.random.default_rng((cfg.seed, ctx.rank, 0xA1))
-    threshold = endgame_threshold(cfg, p)
-    guard = cfg.iteration_guard(n)
-
-    while n > threshold:
-        if len(stats.iterations) > guard:
-            raise ConvergenceError(
-                f"median_of_medians exceeded {guard} iterations (n={n})"
-            )
-        n_before, k_before = n, k
-        ni = int(arr.size)
-
-        # Step 1: local median via sequential selection (the expensive part —
-        # the deterministic constant is what Section 5 blames).
-        if ni:
-            local_med = K.select_kth(
-                arr, median_rank(ni), cfg.sequential_method, rng=rng,
-                impl=cfg.impl_override,
-            )
-        else:
-            local_med = None
-
-        # Steps 2-3: Gather medians; P0 selects their median; Broadcast.
-        medians = ctx.comm.gather(local_med, root=0)
-        if ctx.rank == 0:
-            pool = np.array([m for m in medians if m is not None])
-            ctx.charge_compute(select_cost(ctx.model, pool.size, cfg.sequential_method))
-            mom = select_kth(
-                pool, median_rank(pool.size),
-                method=cfg.impl_override or cfg.sequential_method, rng=rng,
-            )
-        else:
-            mom = None
-        mom = ctx.comm.broadcast(mom, root=0)
-
-        # Steps 4-5: 3-way split + Combine of the counts.
-        parts = K.partition3(arr, mom)
-        c_less, c_eq = ctx.comm.combine(
-            np.array([parts.n_lt, parts.n_eq], dtype=np.int64)
-        )
-        c_less, c_eq = int(c_less), int(c_eq)
-
-        # Step 6: pick the side (or finish on the pivot band).
-        decision = decide_side(k, c_less, c_eq, n)
-        if decision.found:
-            stats.record(IterationRecord(
-                n_before=n, n_after=0, k_before=k, k_after=k, pivot=mom,
-                local_before=ni, local_after=0, balanced=False,
-            ))
-            stats.found_by_pivot = True
-            return mom, stats
-        arr = parts.lt if decision.keep_low else parts.gt
-        n, k = decision.new_n, decision.new_k
-
-        # Step 7: load balance (required by this algorithm).
-        balanced = not isinstance(cfg.balancer, NoBalance)
-        if balanced:
-            arr = cfg.balancer.rebalance(ctx, K, arr)
-        stats.record(IterationRecord(
-            n_before=n_before, n_after=n, k_before=k_before, k_after=k,
-            pivot=mom, local_before=ni, local_after=int(arr.size),
-            balanced=balanced,
-        ))
-
-    # Steps 8-9: endgame.
-    stats.endgame_n = n
-    value = endgame(ctx, K, arr, k, cfg.sequential_method, rng=rng,
-                    impl=cfg.impl_override)
-    return value, stats
+    return contract_select(ctx, shard, k, cfg, MedianOfMediansStrategy())

@@ -7,6 +7,11 @@ live counts tells each rank whether it owns that index; the owner broadcasts
 the key, and every rank 3-way-partitions its live keys around it. One
 Combine decides the surviving side.
 
+The iterate-shrink-endgame skeleton lives in
+:mod:`repro.selection.engine`; this module contributes only the pivot rule
+(:class:`RandomizedStrategy`: prefix + shared draw + owner Combine) and the
+historical SPMD entry point.
+
 Expected time without balancing on well-behaved data (paper Table 1):
 ``O(n/p + (tau + mu) log p log n)``. Load balancing is optional (Step 7) —
 the paper's experiments show it *never* pays off for this algorithm, which
@@ -17,101 +22,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..balance.base import NoBalance
-from ..errors import ConvergenceError
-from ..kernels.costed import CostedKernels
 from ..machine.engine import ProcContext
-from .base import (
-    IterationRecord,
-    SelectionConfig,
-    SelectionStats,
-    check_rank,
-    decide_side,
-    endgame,
-    endgame_threshold,
-)
+from .base import SelectionConfig, SelectionStats
+from .engine import PivotProposal, PivotStrategy, contract_select
 
-__all__ = ["randomized_select"]
-
-
-def randomized_select(
-    ctx: ProcContext, shard: np.ndarray, k: int, cfg: SelectionConfig
-) -> tuple[object, SelectionStats]:
-    """SPMD entry point for the randomized selection algorithm."""
-    K = CostedKernels(ctx)
-    p = ctx.size
-    arr = np.asarray(shard)
-    n = int(ctx.comm.allreduce_sum(int(arr.size)))
-    check_rank(n, k)
-    stats = SelectionStats(algorithm="randomized", n=n, p=p, k=k)
-    # The shared stream: same seed on every rank => same draws everywhere.
-    shared_rng = np.random.default_rng((cfg.seed, 0x5A))
-    local_rng = np.random.default_rng((cfg.seed, ctx.rank, 0x5B))
-    threshold = endgame_threshold(cfg, p)
-    guard = cfg.iteration_guard(n)
-
-    while n > threshold:
-        if len(stats.iterations) > guard:
-            raise ConvergenceError(
-                f"randomized exceeded {guard} iterations (n={n})"
-            )
-        n_before, k_before = n, k
-        ni = int(arr.size)
-
-        # Step 1: inclusive prefix sum of live counts.
-        s = int(ctx.comm.prefix_sum(ni))
-
-        # Step 2: one shared random draw — identical on all ranks.
-        K.rng_draw()
-        nr = int(shared_rng.integers(0, n))
-
-        # Step 3: the owner (s - ni <= nr < s) broadcasts the pivot.
-        if s - ni <= nr < s:
-            pivot = arr[nr - (s - ni)]
-        else:
-            pivot = None
-        # The paper writes this as a Broadcast rooted at the owner; ranks
-        # other than the owner cannot name the root from their local prefix
-        # alone, so (as a real MPI code would) we realise it as a Combine
-        # with a select-the-deposit operator — identical (tau+mu)log p cost.
-        pivot = ctx.comm.combine(
-            pivot if pivot is not None else _NOTHING, _keep_value
-        )
-
-        # Steps 4-5: 3-way split + Combine of counts.
-        parts = K.partition3(arr, pivot)
-        c_less, c_eq = ctx.comm.combine(
-            np.array([parts.n_lt, parts.n_eq], dtype=np.int64)
-        )
-        c_less, c_eq = int(c_less), int(c_eq)
-
-        # Step 6.
-        decision = decide_side(k, c_less, c_eq, n)
-        if decision.found:
-            stats.record(IterationRecord(
-                n_before=n_before, n_after=0, k_before=k_before, k_after=k,
-                pivot=pivot, local_before=ni, local_after=0, balanced=False,
-            ))
-            stats.found_by_pivot = True
-            return pivot, stats
-        arr = parts.lt if decision.keep_low else parts.gt
-        n, k = decision.new_n, decision.new_k
-
-        # Step 7 (optional): load balance.
-        balanced = not isinstance(cfg.balancer, NoBalance)
-        if balanced:
-            arr = cfg.balancer.rebalance(ctx, K, arr)
-        stats.record(IterationRecord(
-            n_before=n_before, n_after=n, k_before=k_before, k_after=k,
-            pivot=pivot, local_before=ni, local_after=int(arr.size),
-            balanced=balanced,
-        ))
-
-    # Steps 8-9 (paper numbering: 7-8): endgame.
-    stats.endgame_n = n
-    value = endgame(ctx, K, arr, k, cfg.sequential_method, rng=local_rng,
-                    impl=cfg.impl_override)
-    return value, stats
+__all__ = ["randomized_select", "RandomizedStrategy"]
 
 
 class _Nothing:
@@ -129,3 +44,55 @@ _NOTHING = _Nothing()
 def _keep_value(a, b):
     """Binary op selecting the single non-sentinel deposit."""
     return b if isinstance(a, _Nothing) else a
+
+
+class RandomizedStrategy(PivotStrategy):
+    """Steps 1-3: prefix the live counts, draw one shared global index, the
+    owner deposits the pivot into a Combine (the paper's realised
+    Broadcast — identical ``(tau + mu) log p`` cost)."""
+
+    name = "randomized"
+
+    def _start(self) -> None:
+        # The shared stream: same seed on every rank => same draws
+        # everywhere. One draw per iteration regardless of interval.
+        self.shared_rng = np.random.default_rng((self.cfg.seed, 0x5A))
+        self.local_rng = np.random.default_rng(
+            (self.cfg.seed, self.ctx.rank, 0x5B)
+        )
+
+    def propose(self, interval) -> PivotProposal:
+        ctx, K = self.ctx, self.K
+        ni = interval.live.count
+
+        # Step 1: inclusive prefix sum of live counts.
+        s = int(ctx.comm.prefix_sum(ni))
+
+        # Step 2: one shared random draw — identical on all ranks.
+        K.rng_draw()
+        nr = int(self.shared_rng.integers(0, interval.n))
+
+        # Step 3: the owner (s - ni <= nr < s) deposits the pivot. The
+        # paper writes this as a Broadcast rooted at the owner; ranks other
+        # than the owner cannot name the root from their local prefix
+        # alone, so (as a real MPI code would) we realise it as a Combine
+        # with a select-the-deposit operator.
+        if s - ni <= nr < s:
+            pivot = interval.live.arr[nr - (s - ni)]
+        else:
+            pivot = None
+        pivot = ctx.comm.combine(
+            pivot if pivot is not None else _NOTHING, _keep_value
+        )
+        return PivotProposal(pivot)
+
+    @property
+    def endgame_rng(self) -> np.random.Generator:
+        return self.local_rng
+
+
+def randomized_select(
+    ctx: ProcContext, shard: np.ndarray, k: int, cfg: SelectionConfig
+) -> tuple[object, SelectionStats]:
+    """SPMD entry point for the randomized selection algorithm."""
+    return contract_select(ctx, shard, k, cfg, RandomizedStrategy())

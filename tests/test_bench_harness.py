@@ -69,7 +69,7 @@ class TestRegistry:
     def test_experiment_ids(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
-            "ablation-delta", "ablation-partition",
+            "ablation-delta", "ablation-partition", "multiselect",
         }
 
     def test_scales(self):
