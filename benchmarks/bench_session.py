@@ -1,0 +1,101 @@
+"""Session serving layer: query coalescing + result caching.
+
+Claims pinned here (the Plan/Session PR's acceptance bar):
+
+1. A ``Session`` flush of ``q >= 3`` rank queries on the same array
+   executes exactly ONE SPMD launch (asserted against the runtime's own
+   launch counter) with lower total simulated time than ``q`` independent
+   ``select`` calls.
+2. Re-querying any answered rank is a cache hit: ZERO new launches, the
+   same value, ``cached=True`` on the served report.
+3. The legacy one-shot functions still pay one launch per call (they shim
+   through an uncached session), and their values agree with the
+   coalesced path.
+
+Full grid: ``python -m repro.bench session --scale paper``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.harness import KILO, quantile_ranks, run_session_point
+
+N = 128 * KILO
+P = 8
+
+
+def _machine_and_data(seed=0):
+    machine = repro.Machine(n_procs=P)
+    data = machine.generate(N, distribution="random", seed=seed)
+    return machine, data
+
+
+@pytest.mark.parametrize("q", [3, 5, 9])
+def test_flush_is_one_launch_and_beats_independent(benchmark, q):
+    pt = benchmark.pedantic(
+        run_session_point, args=("fast_randomized", N, P, q),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["q"] = q
+    benchmark.extra_info["flush_simulated_s"] = pt.flush_simulated
+    benchmark.extra_info["independent_simulated_s"] = pt.independent_simulated
+    benchmark.extra_info["speedup"] = pt.speedup
+    assert pt.flush_launches == 1, "coalesced flush must be ONE SPMD launch"
+    assert pt.flush_simulated < pt.independent_simulated, (
+        "one coalesced launch must beat q independent selects"
+    )
+    assert pt.replay_launches == 0, "cache replay must not launch"
+    assert pt.replay_hits == q
+
+
+def test_flush_counters_from_runtime(benchmark):
+    """The one-launch claim straight from the SPMD runtime counter, with
+    values checked against a host-side oracle."""
+    machine, data = _machine_and_data()
+    oracle = np.sort(data.gather())
+    ks = quantile_ranks(N, 5)
+
+    def serve():
+        session = machine.session()
+        before = machine.launch_count
+        futures = [session.select(data, k) for k in ks]
+        session.flush()
+        return session, futures, machine.launch_count - before
+
+    session, futures, launches = benchmark.pedantic(
+        serve, rounds=1, iterations=1
+    )
+    assert launches == 1
+    for k, fut in zip(ks, futures):
+        assert fut.value == oracle[k - 1]
+    # Re-query every answered rank: zero launches, cached=True.
+    before = machine.launch_count
+    replay = [session.select(data, k).result() for k in ks]
+    assert machine.launch_count == before
+    assert all(rep.cached for rep in replay)
+    assert [rep.value for rep in replay] == [fut.value for fut in futures]
+
+
+def test_coalesced_beats_legacy_and_values_agree(benchmark):
+    """End to end: one flush vs the legacy per-call API over the same
+    ranks; same answers, less simulated time, fewer launches."""
+    machine, data = _machine_and_data(seed=3)
+    ks = quantile_ranks(N, 5)
+
+    with machine.session() as session:
+        futures = [session.select(data, k) for k in ks]
+    coalesced_sim = futures[0].result().simulated_time
+
+    before = machine.launch_count
+    legacy = benchmark.pedantic(
+        lambda: [repro.select(data, k) for k in ks], rounds=1, iterations=1
+    )
+    assert machine.launch_count - before == len(ks), (
+        "legacy calls must stay one launch each"
+    )
+    assert [r.value for r in legacy] == [f.value for f in futures]
+    legacy_sim = sum(r.simulated_time for r in legacy)
+    benchmark.extra_info["coalesced_simulated_s"] = coalesced_sim
+    benchmark.extra_info["legacy_simulated_s"] = legacy_sim
+    assert coalesced_sim < legacy_sim

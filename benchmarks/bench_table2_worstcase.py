@@ -8,7 +8,6 @@ while fast randomized selection — O(n/p log log n) — degrades much less.
 Rendered table + checks: ``python -m repro.bench table2``.
 """
 
-import pytest
 
 from repro.bench.harness import KILO, run_point
 

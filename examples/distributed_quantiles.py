@@ -1,20 +1,18 @@
 #!/usr/bin/env python
 """Distributed quantile service: the selection problem in its natural
-habitat.
+habitat, served through the Plan/Session API.
 
 Scenario (the paper's introduction motivates selection with statistics
 workloads): a monitoring pipeline holds per-node latency samples that are
 *heavily skewed across nodes* — hot shards hold far more samples than cold
 ones — and an SLO dashboard needs exact p50/p90/p99/p99.9, not sketches.
 
-Selection answers each quantile in O(n/p) without a global sort — and
-``repro.multi_select`` answers ALL the quantiles in one SPMD launch: the
-contraction engine tracks every target rank through a single
-iterate-shrink pass, forking the live set when a pivot lands between two
-targets, so the dashboard pays roughly one selection instead of four.
-This example also shows where load balancing earns its keep: with grossly
-unbalanced shards, the paper's fast randomized algorithm + modified OMLB
-beats running on the skewed layout directly.
+A ``SelectionPlan`` names the serving configuration once (fast randomized
+selection + modified OMLB balancing); a ``Session`` accepts the dashboard's
+quantile queries as futures and answers ALL of them in one coalesced SPMD
+launch on flush. When the dashboard refreshes, the same queries hit the
+session's result cache: zero new launches. The example also shows where
+load balancing earns its keep on grossly unbalanced shards.
 
 Run:  python examples/distributed_quantiles.py
 """
@@ -59,17 +57,35 @@ def main() -> None:
     quantiles = [0.50, 0.90, 0.99, 0.999]
     ks = [max(1, int(np.ceil(q * data.n))) for q in quantiles]
 
-    print("\nexact quantiles, ONE batched multi_select launch "
+    # The serving configuration, named once.
+    plan = repro.SelectionPlan(algorithm="fast_randomized",
+                               balancer="modified_omlb", seed=11)
+    session = machine.session(plan)
+
+    print("\nexact quantiles, ONE coalesced Session flush "
           "(fast randomized + modified OMLB):")
-    batched = repro.multi_select(data, ks, algorithm="fast_randomized",
-                                 balancer="modified_omlb", seed=11)
-    for q, k, value in zip(quantiles, ks, batched.values):
-        assert value == oracle[k - 1], "quantile mismatch vs oracle"
-        print(f"  p{q * 100:>5.1f} = {value:8.2f} ms")
+    before = machine.launch_count
+    futures = session.quantiles(data, quantiles)
+    session.flush()
+    assert machine.launch_count - before == 1, \
+        "a flush of same-array quantile queries must be one SPMD launch"
+    for q, k, fut in zip(quantiles, ks, futures):
+        assert fut.value == oracle[k - 1], "quantile mismatch vs oracle"
+        print(f"  p{q * 100:>5.1f} = {fut.value:8.2f} ms")
+    batched = futures[0].result()
     print(f"  one launch: simulated {batched.simulated_time * 1e3:7.2f} ms, "
-          f"{batched.stats.n_iterations} iterations over "
-          f"{batched.stats.n_intervals} forked intervals, "
+          f"{batched.stats.n_iterations} iterations, "
           f"balance {batched.balance_time * 1e3:5.2f} ms")
+
+    # Dashboard refresh: the same quantiles again — served from the result
+    # cache, zero new launches.
+    before = machine.launch_count
+    refresh = [fut.result() for fut in session.quantiles(data, quantiles)]
+    assert machine.launch_count == before, "cache hits must not relaunch"
+    assert all(rep.cached for rep in refresh)
+    assert [rep.value for rep in refresh] == [fut.value for fut in futures]
+    print(f"  dashboard refresh: {len(refresh)} queries, 0 launches "
+          f"(result cache, {session.stats.cache_hits} hits so far)")
 
     # The pre-batching cost: one full selection per quantile.
     total_sim = 0.0
@@ -86,11 +102,11 @@ def main() -> None:
 
     # Compare layouts: skewed shards vs the same work after one rebalance.
     k99 = int(np.ceil(0.99 * data.n))
-    skewed = repro.select(data, k99, algorithm="randomized", balancer="none",
-                          seed=4)
-    balanced_data, _ = repro.rebalance(data, method="global_exchange")
-    balanced = repro.select(balanced_data, k99, algorithm="randomized",
-                            balancer="none", seed=4)
+    layout_plan = repro.SelectionPlan(algorithm="randomized", balancer="none",
+                                      seed=4)
+    skewed = data.select(k99, layout_plan)
+    balanced_data, _ = data.rebalance(method="global_exchange")
+    balanced = balanced_data.select(k99, layout_plan)
     print(f"\nrandomized selection, p99, skewed layout : "
           f"{skewed.simulated_time * 1e3:8.2f} ms")
     print(f"randomized selection, p99, after rebalance: "

@@ -19,7 +19,6 @@ Run:  python examples/load_balance_demo.py
 import numpy as np
 
 import repro
-from repro.balance import imbalance_stats
 
 LAYOUTS = {
     "one hot shard": lambda p, n: [n if r == 0 else 0 for r in range(p)],

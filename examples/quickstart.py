@@ -1,6 +1,7 @@
 #!/usr/bin/env python
-"""Quickstart: find the median of 1M keys on a simulated 32-processor
-coarse-grained machine, with every algorithm from the paper.
+"""Quickstart: the Plan/Session API on a simulated 32-processor
+coarse-grained machine — fluent queries, composable plans, coalesced
+serving, and result caching.
 
 Run:  python examples/quickstart.py
 """
@@ -22,25 +23,51 @@ def main() -> None:
     print(f"data   : n={data.n} over {data.p} shards, "
           f"max/avg imbalance={data.imbalance().ratio:.3f}")
 
-    # The flagship call: median selection (rank ceil(n/2)).
-    report = repro.median(data)  # fast_randomized, no balancing, by default
-    oracle = float(np.median(np.sort(data.gather())[: n]))  # host-side check
+    # The flagship query, fluent: median selection (rank ceil(n/2)).
+    report = data.median()  # fast_randomized, no balancing, by default
+    oracle = np.sort(data.gather())
+    assert report.value == oracle[(n + 1) // 2 - 1], "median mismatch"
     print(f"\nmedian = {report.value:.6f} "
-          f"(numpy check: {np.sort(data.gather())[(n + 1) // 2 - 1]:.6f})")
+          f"(numpy check: {oracle[(n + 1) // 2 - 1]:.6f})")
     print(f"algorithm={report.algorithm}  simulated={report.simulated_time * 1e3:.2f} ms  "
           f"iterations={report.stats.n_iterations}")
 
-    # Any rank works, with any algorithm and balancer.
-    print("\nall four paper algorithms, k = n/10:")
+    # Repeated traffic is a cache hit: same answer, zero new launches.
+    before = machine.launch_count
+    again = data.median()
+    assert again.cached and again.value == report.value
+    assert machine.launch_count == before
+    print(f"repeat query: cached={again.cached}, "
+          f"launches paid={machine.launch_count - before}")
+
+    # A plan names a configuration once; any rank works with any plan.
+    print("\nall four paper algorithms, k = n/10 (one plan each):")
     k = n // 10
     for algo in ["median_of_medians", "bucket_based", "randomized",
                  "fast_randomized"]:
-        rep = repro.select(data, k, algorithm=algo, seed=1)
+        plan = repro.SelectionPlan(algorithm=algo, seed=1)
+        rep = data.select(k, plan)
+        assert rep.value == oracle[k - 1], "selection mismatch"
         b = rep.breakdown
         print(f"  {algo:<20s} value={rep.value:.6f} "
               f"sim={rep.simulated_time * 1e3:8.2f} ms "
               f"(compute {b.computation * 1e3:7.2f}, comm {b.communication * 1e3:6.2f}, "
               f"balance {b.balance * 1e3:6.2f})")
+
+    # The serving layer: queue many rank queries, flush once — the session
+    # coalesces every same-array query into ONE batched SPMD launch.
+    ranks = [1000, n // 4, n // 2, 3 * n // 4, n - 1000]
+    before = machine.launch_count
+    with machine.session() as session:
+        futures = [session.select(data, r) for r in ranks]
+    launches = machine.launch_count - before
+    assert launches == 1, "a flush of same-array queries must be one launch"
+    for r, fut in zip(ranks, futures):
+        assert fut.value == oracle[r - 1], "coalesced answer mismatch"
+    print(f"\nsession flush: {len(ranks)} rank queries -> {launches} SPMD launch")
+    print(f"  batched simulated time: "
+          f"{futures[0].result().simulated_time * 1e3:.2f} ms "
+          f"(vs one full contraction per rank without coalescing)")
 
     # The simulated-time breakdown is the paper's currency: the deterministic
     # algorithms lose by an order of magnitude on the sequential constant.

@@ -13,6 +13,11 @@ The package provides:
   multi-rank selection: a whole set of target ranks answered by one
   contraction (one SPMD launch) through the shared engine of
   :mod:`repro.selection.engine`;
+* :class:`repro.SelectionPlan` / :class:`repro.Session` — the serving
+  layer: a frozen, validated plan replaces the per-call kwarg soup, and a
+  session accepts rank queries as futures, coalesces all pending queries
+  per (array, plan) into ONE batched SPMD launch on ``flush()``, and
+  serves repeated traffic from a result cache with zero new launches;
 * :func:`repro.rebalance` — the paper's load balancers (order maintaining,
   modified order maintaining, dimension exchange, global exchange);
 * :mod:`repro.bench` — a harness regenerating every table and figure of the
@@ -21,11 +26,16 @@ The package provides:
 See README.md for a tour and DESIGN.md for the system inventory.
 """
 
-from .core.api import (
+from .core import (
     DistributedArray,
     Machine,
+    MultiSelectionFuture,
     MultiSelectionReport,
+    SelectionFuture,
+    SelectionPlan,
     SelectionReport,
+    Session,
+    SessionStats,
     median,
     multi_select,
     quantiles,
@@ -54,8 +64,13 @@ __version__ = "1.0.0"
 __all__ = [
     "DistributedArray",
     "Machine",
+    "MultiSelectionFuture",
     "MultiSelectionReport",
+    "SelectionFuture",
+    "SelectionPlan",
     "SelectionReport",
+    "Session",
+    "SessionStats",
     "median",
     "multi_select",
     "quantiles",

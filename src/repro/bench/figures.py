@@ -26,6 +26,7 @@ from .harness import (
     run_multiselect_point,
     run_point,
     run_series,
+    run_session_point,
 )
 from .report import render_bar_rows, render_series_table
 
@@ -335,6 +336,45 @@ def multiselect(scale: str = "small") -> FigureResult:
                         text, points)
 
 
+def session(scale: str = "small") -> FigureResult:
+    """The serving layer: a cached ``Session`` flush coalescing ``q``
+    same-array rank queries into ONE SPMD launch, versus ``q`` independent
+    one-shot selects, plus a cache replay of the same ranks (zero
+    launches). The launch counts come from the SPMD runtime's own
+    counter, not from the session's bookkeeping."""
+    cfg = _scale(scale)
+    n = cfg["n_big"]
+    rows: list[str] = []
+    points: list[PointResult] = []
+    for algo in ("fast_randomized", "randomized"):
+        for p in cfg["bar_p_sweep"]:
+            for q in (3, 5, 9):
+                pt = run_session_point(
+                    algo, n, p, q, distribution="random", balancer="none",
+                    trials=cfg["trials"],
+                )
+                points.extend(pt.as_points())
+                rows.append(
+                    f"  {algo:>16s} p={p:<3d} q={q:<2d} "
+                    f"flush={pt.flush_simulated * 1e3:9.2f} ms "
+                    f"({pt.flush_launches:.0f} launch)  "
+                    f"independent={pt.independent_simulated * 1e3:9.2f} ms  "
+                    f"speedup={pt.speedup:5.2f}x  "
+                    f"replay={pt.replay_launches:.0f} launches "
+                    f"({pt.replay_hits:.0f} cache hits)"
+                )
+    text = (
+        f"== Session serving: coalesced flush vs independent selects, "
+        f"n={n // KILO}k, random data ==\n"
+        "A Session flush answers every queued same-array rank query with\n"
+        "ONE batched SPMD launch; re-querying answered ranks is served\n"
+        "from the result cache with ZERO launches.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("session", "Session coalescing and result caching",
+                        text, points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -346,6 +386,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "ablation-delta": ablation_delta,
     "ablation-partition": ablation_partition,
     "multiselect": multiselect,
+    "session": session,
 }
 
 

@@ -18,7 +18,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.api import Machine, multi_select, select
+from ..core.array import Machine
+from ..core.plan import SelectionPlan
+from ..core.session import Session
 from ..errors import ConfigurationError
 from ..kernels.select import median_rank
 from ..machine.cost_model import CM5, CostModel
@@ -26,8 +28,10 @@ from ..selection.fast_randomized import FastRandomizedParams
 
 __all__ = [
     "PointResult",
+    "SessionPointResult",
     "run_point",
     "run_multiselect_point",
+    "run_session_point",
     "run_series",
     "quantile_ranks",
     "PAPER_P_SWEEP",
@@ -94,20 +98,24 @@ def run_point(
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
     machine = Machine(n_procs=p, cost_model=cost_model or CM5)
+    plan = SelectionPlan(
+        algorithm=algorithm,
+        balancer=balancer,
+        seed=seed,
+        impl_override=impl_override,
+        fast_params=fast_params,
+    )
+    one_shot = Session(machine, cache=False)
     sims: list[float] = []
     bals: list[float] = []
     walls: list[float] = []
     iters: list[int] = []
     for t in range(trials):
         data = machine.generate(n, distribution=distribution, seed=seed + 1000 * t)
-        rep = select(
+        rep = one_shot.run_select(
             data,
             k if k is not None else median_rank(n),
-            algorithm=algorithm,
-            balancer=balancer,
-            seed=seed + t,
-            impl_override=impl_override,
-            fast_params=fast_params,
+            plan.replace(seed=seed + t),
         )
         sims.append(rep.simulated_time)
         bals.append(rep.balance_time)
@@ -167,15 +175,18 @@ def run_multiselect_point(
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
     machine = Machine(n_procs=p, cost_model=cost_model or CM5)
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer=balancer, seed=seed,
+        impl_override=impl_override,
+    )
+    one_shot = Session(machine, cache=False)
     ks = quantile_ranks(n, q)
     b_sims, b_bals, b_walls, b_iters = [], [], [], []
     r_sims, r_bals, r_walls, r_iters = [], [], [], []
     for t in range(trials):
         data = machine.generate(n, distribution=distribution, seed=seed + 1000 * t)
-        rep = multi_select(
-            data, ks, algorithm=algorithm, balancer=balancer, seed=seed + t,
-            impl_override=impl_override,
-        )
+        trial_plan = plan.replace(seed=seed + t)
+        rep = one_shot.run_multi_select(data, ks, trial_plan)
         b_sims.append(rep.simulated_time)
         b_bals.append(rep.balance_time)
         b_walls.append(rep.wall_time)
@@ -183,10 +194,7 @@ def run_multiselect_point(
         sim = bal = wall = 0.0
         iters = 0
         for k in ks:
-            one = select(
-                data, k, algorithm=algorithm, balancer=balancer,
-                seed=seed + t, impl_override=impl_override,
-            )
+            one = one_shot.run_select(data, k, trial_plan)
             sim += one.simulated_time
             bal += one.balance_time
             wall += one.wall_time
@@ -214,4 +222,163 @@ def run_multiselect_point(
     return (
         _mk(f"{algorithm}/multi_select(q={q})", b_sims, b_bals, b_walls, b_iters),
         _mk(f"{algorithm}/{q}x select", r_sims, r_bals, r_walls, r_iters),
+    )
+
+
+@dataclass
+class SessionPointResult:
+    """One serving-layer grid point: a coalesced Session flush of ``q``
+    same-array rank queries vs ``q`` independent one-shot selects, plus a
+    cache replay of the same ``q`` ranks (averaged over trials)."""
+
+    algorithm: str
+    balancer: str
+    distribution: str
+    n: int
+    p: int
+    q: int
+    #: SPMD launches the coalesced flush paid (the claim: exactly 1).
+    flush_launches: float
+    #: Simulated seconds of the batched flush launch.
+    flush_simulated: float
+    #: Simulated balance seconds / wall seconds / iterations of that launch.
+    flush_balance: float
+    flush_wall: float
+    flush_iterations: float
+    #: Sums over the ``q`` independent ``run_select`` launches.
+    independent_simulated: float
+    independent_balance: float
+    independent_wall: float
+    independent_iterations: float
+    #: SPMD launches paid re-querying all ``q`` ranks (the claim: 0).
+    replay_launches: float
+    #: Ranks served from the result cache during the replay.
+    replay_hits: float
+    trials: int
+
+    @property
+    def speedup(self) -> float:
+        """Independent-over-coalesced simulated time."""
+        if not self.flush_simulated:
+            return float("inf")
+        return self.independent_simulated / self.flush_simulated
+
+    def as_points(self) -> tuple[PointResult, PointResult]:
+        """CSV-exportable rows (coalesced flush, independent selects)."""
+        shared = dict(
+            balancer=self.balancer, distribution=self.distribution,
+            n=self.n, p=self.p, trials=self.trials,
+        )
+        return (
+            PointResult(
+                algorithm=f"{self.algorithm}/session-flush(q={self.q})",
+                simulated_time=self.flush_simulated,
+                balance_time=self.flush_balance,
+                wall_time=self.flush_wall,
+                iterations=self.flush_iterations,
+                **shared,
+            ),
+            PointResult(
+                algorithm=f"{self.algorithm}/{self.q}x select",
+                simulated_time=self.independent_simulated,
+                balance_time=self.independent_balance,
+                wall_time=self.independent_wall,
+                iterations=self.independent_iterations,
+                **shared,
+            ),
+        )
+
+
+def run_session_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    q: int,
+    distribution: str = "random",
+    balancer: str = "none",
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+) -> SessionPointResult:
+    """Measure the Session serving layer on one grid point.
+
+    Three measurements per trial, over ``q`` evenly spaced quantile ranks
+    of the same array:
+
+    1. **Coalesced flush** — all ``q`` ranks queued as futures on a cached
+       :class:`~repro.core.session.Session`, answered by ``flush()``; the
+       SPMD launch count delta is recorded (the serving claim: exactly 1).
+    2. **Cache replay** — the same ``q`` ranks re-queried and flushed; the
+       launch delta is recorded again (the caching claim: 0).
+    3. **Independent** — ``q`` one-shot uncached ``run_select`` launches
+       (pre-Session traffic), summed.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    machine = Machine(n_procs=p, cost_model=cost_model or CM5)
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer=balancer, seed=seed,
+        impl_override=impl_override,
+    )
+    ks = quantile_ranks(n, q)
+    fl_launches, fl_sims, fl_bals, fl_walls, fl_iters = [], [], [], [], []
+    rp_launches, rp_hits = [], []
+    ind_sims, ind_bals, ind_walls, ind_iters = [], [], [], []
+    for t in range(trials):
+        data = machine.generate(n, distribution=distribution, seed=seed + 1000 * t)
+        trial_plan = plan.replace(seed=seed + t)
+        session = machine.session(trial_plan)
+
+        before = machine.launch_count
+        futures = [session.select(data, k) for k in ks]
+        session.flush()
+        fl_launches.append(machine.launch_count - before)
+        flush_report = futures[0].result()
+        fl_sims.append(flush_report.simulated_time)
+        fl_bals.append(flush_report.balance_time)
+        fl_walls.append(flush_report.wall_time)
+        fl_iters.append(flush_report.stats.n_iterations)
+
+        before = machine.launch_count
+        hits_before = session.stats.cache_hits
+        replayed = [session.select(data, k) for k in ks]
+        session.flush()
+        rp_launches.append(machine.launch_count - before)
+        rp_hits.append(session.stats.cache_hits - hits_before)
+        for fut, orig in zip(replayed, futures):
+            assert fut.value == orig.value, "cache served a different answer"
+
+        one_shot = Session(machine, cache=False)
+        sim = bal = wall = 0.0
+        iters = 0
+        for k in ks:
+            one = one_shot.run_select(data, k, trial_plan)
+            sim += one.simulated_time
+            bal += one.balance_time
+            wall += one.wall_time
+            iters += one.stats.n_iterations
+        ind_sims.append(sim)
+        ind_bals.append(bal)
+        ind_walls.append(wall)
+        ind_iters.append(iters)
+    return SessionPointResult(
+        algorithm=algorithm,
+        balancer=balancer,
+        distribution=distribution,
+        n=n,
+        p=p,
+        q=q,
+        flush_launches=statistics.mean(fl_launches),
+        flush_simulated=statistics.mean(fl_sims),
+        flush_balance=statistics.mean(fl_bals),
+        flush_wall=statistics.mean(fl_walls),
+        flush_iterations=statistics.mean(fl_iters),
+        independent_simulated=statistics.mean(ind_sims),
+        independent_balance=statistics.mean(ind_bals),
+        independent_wall=statistics.mean(ind_walls),
+        independent_iterations=statistics.mean(ind_iters),
+        replay_launches=statistics.mean(rp_launches),
+        replay_hits=statistics.mean(rp_hits),
+        trials=trials,
     )

@@ -1,4 +1,10 @@
-"""Public API surface of the reproduction (see :mod:`repro.core.api`)."""
+"""Public API surface of the reproduction.
+
+Layered as: :mod:`repro.core.array` (Machine + DistributedArray),
+:mod:`repro.core.plan` (the frozen SelectionPlan), :mod:`repro.core.session`
+(query coalescing + result caching), :mod:`repro.core.reports` (report
+types), and :mod:`repro.core.api` (legacy one-shot shims).
+"""
 
 from .api import (
     DistributedArray,
@@ -11,12 +17,24 @@ from .api import (
     rebalance,
     select,
 )
+from .plan import SelectionPlan
+from .session import (
+    MultiSelectionFuture,
+    SelectionFuture,
+    Session,
+    SessionStats,
+)
 
 __all__ = [
     "DistributedArray",
     "Machine",
+    "MultiSelectionFuture",
     "MultiSelectionReport",
+    "SelectionFuture",
+    "SelectionPlan",
     "SelectionReport",
+    "Session",
+    "SessionStats",
     "median",
     "multi_select",
     "quantiles",

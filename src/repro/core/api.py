@@ -1,55 +1,45 @@
-"""Public API: :class:`Machine`, :class:`DistributedArray`, :func:`select`,
-:func:`multi_select`, :func:`median`, :func:`quantiles`, :func:`rebalance`.
+"""Legacy one-shot API: :func:`select`, :func:`multi_select`,
+:func:`median`, :func:`quantiles`, :func:`rebalance`.
 
-Quickstart::
+These are thin shims over the Plan/Session layer, kept for the historical
+call shape (``repro.select(data, k, algorithm=..., seed=...)``). Each call
+builds a validated :class:`~repro.core.plan.SelectionPlan` from its kwargs
+and runs it through an uncached one-shot
+:class:`~repro.core.session.Session`, so values, RNG streams and simulated
+times are bit-identical to the pre-Session API — one SPMD launch per call,
+no memoisation.
+
+New code should prefer the composable surface::
 
     import repro
 
     machine = repro.Machine(n_procs=32)
     data = machine.generate(1 << 21, distribution="random", seed=7)
-    report = repro.median(data)
-    print(report.value, report.simulated_time, report.stats.n_iterations)
+    plan = repro.SelectionPlan(algorithm="fast_randomized", seed=7)
 
-    # q ranks in ONE SPMD launch (quantiles() batches through this too):
-    multi = repro.multi_select(data, [1000, data.n // 2, data.n])
-    print(multi.values, multi.simulated_time)
+    # Fluent, cached:
+    report = data.median(plan)
 
-The API is deliberately small: a :class:`Machine` owns the simulated
-processor count and cost model; a :class:`DistributedArray` is the data laid
-out across its processors; :func:`select` runs any of the paper's algorithms
-and returns a :class:`SelectionReport` with the answer, the simulated-time
-breakdown, and per-iteration statistics; :func:`multi_select` answers a
-whole *set* of ranks in one contraction and returns a
-:class:`MultiSelectionReport`.
+    # Coalesced serving: many rank queries, ONE SPMD launch on flush.
+    with machine.session(plan) as s:
+        futures = [s.select(data, k) for k in (1000, data.n // 2, data.n)]
+    print([f.value for f in futures])
+
+:class:`Machine` / :class:`DistributedArray` live in
+:mod:`repro.core.array`, the report types in :mod:`repro.core.reports`;
+they are re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
-import numpy as np
-
-from ..balance.base import Balancer, get_balancer
-from ..balance.metrics import ImbalanceStats, imbalance_stats
-from ..data.generators import generate_shards, shard_sizes
-from ..errors import ConfigurationError
-from ..kernels.costed import CostedKernels
-from ..kernels.select import median_rank
-from ..machine.clock import TimeBreakdown
-from ..machine.cost_model import CM5, CostModel
-from ..machine.engine import SPMDResult, SPMDRuntime
-from ..selection import (
-    ALGORITHMS,
-    STRATEGIES,
-    MultiSelectionStats,
-    SelectionConfig,
-    SelectionStats,
-    contract_multi_select,
-    sort_based_multi_select,
-)
+from ..machine.engine import SPMDResult
 from ..selection.fast_randomized import FastRandomizedParams
+from .array import DistributedArray, Machine
+from .plan import SelectionPlan
+from .reports import MultiSelectionReport, SelectionReport
+from .session import Session
 
 __all__ = [
     "Machine",
@@ -64,172 +54,10 @@ __all__ = [
 ]
 
 
-class Machine:
-    """A simulated coarse-grained machine: ``p`` processors + a cost model."""
-
-    def __init__(
-        self,
-        n_procs: int,
-        cost_model: CostModel | None = None,
-        trace: bool = False,
-    ):
-        self.runtime = SPMDRuntime(
-            n_procs, cost_model=cost_model if cost_model is not None else CM5,
-            trace=trace,
-        )
-
-    @property
-    def n_procs(self) -> int:
-        return self.runtime.n_procs
-
-    @property
-    def cost_model(self) -> CostModel:
-        return self.runtime.cost_model
-
-    # ------------------------------------------------------------- data in
-
-    def distribute(self, data: np.ndarray) -> "DistributedArray":
-        """Block-distribute a host array over the processors."""
-        data = np.asarray(data)
-        if data.ndim != 1:
-            raise ConfigurationError("distribute expects a 1-D array")
-        sizes = shard_sizes(data.size, self.n_procs)
-        offsets = np.concatenate([[0], np.cumsum(sizes)])
-        shards = [
-            data[offsets[r]: offsets[r + 1]].copy() for r in range(self.n_procs)
-        ]
-        return DistributedArray(self, shards)
-
-    def from_shards(self, shards: Sequence[np.ndarray]) -> "DistributedArray":
-        """Adopt externally-prepared per-processor shards."""
-        if len(shards) != self.n_procs:
-            raise ConfigurationError(
-                f"need exactly {self.n_procs} shards, got {len(shards)}"
-            )
-        return DistributedArray(self, [np.asarray(s) for s in shards])
-
-    def generate(
-        self, n: int, distribution: str = "random", seed: int = 0
-    ) -> "DistributedArray":
-        """Generate one of the named workloads directly in distributed form."""
-        return DistributedArray(
-            self, generate_shards(n, self.n_procs, distribution, seed)
-        )
-
-    def run(self, fn, rank_args=None, args=(), kwargs=None) -> SPMDResult:
-        """Escape hatch: run a raw SPMD program on this machine."""
-        return self.runtime.run(fn, rank_args=rank_args, args=args, kwargs=kwargs)
-
-
-@dataclass
-class DistributedArray:
-    """A 1-D array block-distributed over a machine's processors."""
-
-    machine: Machine
-    shards: list[np.ndarray]
-
-    @property
-    def n(self) -> int:
-        return int(sum(s.size for s in self.shards))
-
-    @property
-    def p(self) -> int:
-        return self.machine.n_procs
-
-    @property
-    def counts(self) -> list[int]:
-        return [int(s.size) for s in self.shards]
-
-    def imbalance(self) -> ImbalanceStats:
-        return imbalance_stats(self.counts)
-
-    def gather(self) -> np.ndarray:
-        """Materialise the full array on the host (tests/examples only)."""
-        live = [s for s in self.shards if s.size]
-        return np.concatenate(live) if live else np.array([])
-
-    def __len__(self) -> int:
-        return self.n
-
-
-@dataclass
-class _RunReport:
-    """Metrics every selection launch produces (single- or multi-rank)."""
-
-    n: int
-    p: int
-    algorithm: str
-    balancer: str
-    simulated_time: float
-    wall_time: float
-    breakdown: TimeBreakdown
-
-    @property
-    def balance_time(self) -> float:
-        """Simulated seconds spent load balancing (max across ranks)."""
-        return self.result.balance_time if self.result else self.breakdown.balance
-
-
-@dataclass
-class SelectionReport(_RunReport):
-    """Everything a run of :func:`select` produced."""
-
-    value: object = None
-    k: int = 0
-    stats: SelectionStats = field(default_factory=SelectionStats)
-    result: Optional[SPMDResult] = field(repr=False, default=None)
-
-
-@dataclass
-class MultiSelectionReport(_RunReport):
-    """Everything a run of :func:`multi_select` produced.
-
-    ``values`` aligns with the caller's ``ks`` (duplicates included, input
-    order preserved); the simulated metrics cover the whole batched run —
-    one SPMD launch answered every rank.
-    """
-
-    values: list = field(default_factory=list)
-    ks: list[int] = field(default_factory=list)
-    stats: MultiSelectionStats = field(default_factory=MultiSelectionStats)
-    result: Optional[SPMDResult] = field(repr=False, default=None)
-
-    def __len__(self) -> int:
-        return len(self.values)
-
-
-def _resolve_config(
-    algorithm: str,
-    balancer,
-    seed: int,
-    sequential_method: str | None,
-    endgame_threshold: int | None,
-    max_iterations: int | None,
-    impl_override: str | None = None,
-) -> tuple[object, SelectionConfig, str]:
-    try:
-        fn, default_seq, needs_balance = ALGORITHMS[algorithm]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
-        ) from None
-    if balancer == "default":
-        # Paper defaults: MoM requires balancing (its figures use global
-        # exchange); everything else runs without.
-        balancer_obj: Balancer = get_balancer(
-            "global_exchange" if needs_balance else None
-        )
-    else:
-        balancer_obj = get_balancer(balancer)
-    cfg = SelectionConfig(
-        balancer=balancer_obj,
-        sequential_method=sequential_method or default_seq,
-        seed=seed,
-        endgame_threshold=endgame_threshold,
-        max_iterations=max_iterations,
-        impl_override=impl_override,
-    )
-    return fn, cfg, type(balancer_obj).__name__
+def _one_shot(data: DistributedArray) -> Session:
+    """An uncached throwaway session: exactly one launch per query, the
+    historical cost model of the legacy functions."""
+    return Session(data.machine, cache=False)
 
 
 def select(
@@ -267,39 +95,17 @@ def select(
     -------
     SelectionReport
     """
-    fn, cfg, balancer_name = _resolve_config(
-        algorithm, balancer, seed, sequential_method, endgame_threshold,
-        max_iterations, impl_override,
-    )
-    extra: tuple = ()
-    if algorithm == "fast_randomized" and fast_params is not None:
-        extra = (fast_params,)
-
-    def program(ctx, shard, target_k, config):
-        return fn(ctx, shard.copy(), target_k, config, *extra)
-
-    result = data.machine.run(
-        program,
-        rank_args=[(s,) for s in data.shards],
-        args=(k, cfg),
-    )
-    values = [v[0] for v in result.values]
-    stats: SelectionStats = result.values[0][1]
-    first = values[0]
-    assert all(v == first for v in values), "ranks disagree on the answer"
-    return SelectionReport(
-        value=first,
-        k=k,
-        n=data.n,
-        p=data.p,
+    plan = SelectionPlan(
         algorithm=algorithm,
-        balancer=balancer_name,
-        simulated_time=result.simulated_time,
-        wall_time=result.wall_time,
-        breakdown=result.breakdown,
-        stats=stats,
-        result=result,
+        balancer=balancer,
+        seed=seed,
+        sequential_method=sequential_method,
+        endgame_threshold=endgame_threshold,
+        max_iterations=max_iterations,
+        fast_params=fast_params,
+        impl_override=impl_override,
     )
+    return _one_shot(data).run_select(data, k, plan)
 
 
 def multi_select(
@@ -344,70 +150,23 @@ def multi_select(
     -------
     MultiSelectionReport
     """
-    ks = [int(k) for k in ks]
-    n = data.n
-    for k in ks:
-        if not (1 <= k <= max(n, 0)):
-            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
-    _fn, cfg, balancer_name = _resolve_config(
-        algorithm, balancer, seed, sequential_method, endgame_threshold,
-        max_iterations, impl_override,
-    )
-    if algorithm.startswith("hybrid_"):
-        # Same forcing the single-rank hybrids apply: deterministic
-        # parallel structure, randomized sequential parts.
-        cfg = dataclasses.replace(cfg, sequential_method="randomized")
-    if not ks:
-        return MultiSelectionReport(
-            values=[], ks=[], n=n, p=data.p, algorithm=algorithm,
-            balancer=balancer_name, simulated_time=0.0, wall_time=0.0,
-            breakdown=TimeBreakdown(),
-            stats=MultiSelectionStats(algorithm=algorithm, n=n, p=data.p),
-        )
-    unique_ks = sorted(set(ks))
-
-    if algorithm == "sort_based":
-        def program(ctx, shard, ks_sorted, config):
-            return sort_based_multi_select(ctx, shard.copy(), ks_sorted, config)
-    else:
-        strategy_factory = STRATEGIES[algorithm]
-
-        def program(ctx, shard, ks_sorted, config):
-            return contract_multi_select(
-                ctx, shard.copy(), ks_sorted, config,
-                strategy_factory(fast_params), algorithm=algorithm,
-            )
-
-    result = data.machine.run(
-        program,
-        rank_args=[(s,) for s in data.shards],
-        args=(unique_ks, cfg),
-    )
-    all_values = [v[0] for v in result.values]
-    stats: MultiSelectionStats = result.values[0][1]
-    first = all_values[0]
-    assert all(
-        len(v) == len(first) and all(a == b for a, b in zip(v, first))
-        for v in all_values
-    ), "ranks disagree on the answers"
-    by_rank = dict(zip(unique_ks, first))
-    return MultiSelectionReport(
-        values=[by_rank[k] for k in ks],
-        ks=ks,
-        n=n,
-        p=data.p,
+    plan = SelectionPlan(
         algorithm=algorithm,
-        balancer=balancer_name,
-        simulated_time=result.simulated_time,
-        wall_time=result.wall_time,
-        breakdown=result.breakdown,
-        stats=stats,
-        result=result,
+        balancer=balancer,
+        seed=seed,
+        sequential_method=sequential_method,
+        endgame_threshold=endgame_threshold,
+        max_iterations=max_iterations,
+        fast_params=fast_params,
+        impl_override=impl_override,
     )
+    return _one_shot(data).run_multi_select(data, ks, plan)
 
 
 def median(data: DistributedArray, **kwargs) -> SelectionReport:
     """The paper's flagship special case: rank ``ceil(n/2)`` selection."""
+    from ..kernels.select import median_rank
+
     return select(data, median_rank(data.n), **kwargs)
 
 
@@ -428,46 +187,16 @@ def quantiles(
     the batched run's simulated metrics (``simulated_time``, ``breakdown``
     and the iteration evidence describe the single launch that answered
     *all* of them, so summing across reports would double-count). Keyword
-    arguments are forwarded to :func:`multi_select`.
+    arguments become :class:`SelectionPlan` fields.
     """
-    n = data.n
-    ks = []
-    for q in qs:
-        if not (0.0 < q <= 1.0):
-            raise ConfigurationError(f"quantile {q!r} outside (0, 1]")
-        ks.append(max(1, int(np.ceil(q * n))))
-    if not ks:
+    from .session import quantile_rank
+
+    # Historical validation order: quantile fractions are checked (and the
+    # empty set returned) before the plan kwargs are validated.
+    if not [quantile_rank(q, data.n) for q in qs]:
         return []
-    multi = multi_select(data, ks, **kwargs)
-    return [
-        SelectionReport(
-            value=value,
-            k=k,
-            n=n,
-            p=data.p,
-            algorithm=multi.algorithm,
-            balancer=multi.balancer,
-            simulated_time=multi.simulated_time,
-            wall_time=multi.wall_time,
-            breakdown=multi.breakdown,
-            # A per-quantile view of the shared batched evidence: correct
-            # target rank, SelectionStats-shaped, iteration records aliased
-            # from the one launch that produced every answer.
-            stats=SelectionStats(
-                algorithm=multi.stats.algorithm,
-                n=multi.stats.n,
-                p=multi.stats.p,
-                k=k,
-                iterations=multi.stats.iterations,
-                endgame_n=multi.stats.endgame_n,
-                found_by_pivot=bool(multi.stats.found_by_pivot),
-                balance_invocations=multi.stats.balance_invocations,
-                unsuccessful_iterations=multi.stats.unsuccessful_iterations,
-            ),
-            result=multi.result,
-        )
-        for k, value in zip(ks, multi.values)
-    ]
+    plan = SelectionPlan(**kwargs)
+    return _one_shot(data).run_quantiles(data, qs, plan)
 
 
 def rebalance(
@@ -478,10 +207,4 @@ def rebalance(
     Returns the rebalanced array plus the raw :class:`SPMDResult` (for its
     simulated-time breakdown).
     """
-    balancer = get_balancer(method)
-
-    def program(ctx, shard):
-        return balancer.rebalance(ctx, CostedKernels(ctx), shard)
-
-    result = data.machine.run(program, rank_args=[(s,) for s in data.shards])
-    return DistributedArray(data.machine, result.values), result
+    return data.rebalance(method)

@@ -1,0 +1,238 @@
+"""The data layer: :class:`Machine` and :class:`DistributedArray`.
+
+A :class:`Machine` owns the simulated processor count and cost model (one
+:class:`~repro.machine.engine.SPMDRuntime`), counts every SPMD launch it
+executes, and lazily carries a **default session** — the cached
+:class:`~repro.core.session.Session` behind the fluent query methods.
+
+A :class:`DistributedArray` is a 1-D array block-distributed over the
+machine's processors. It carries a lazily-computed content **fingerprint**
+(the cache/coalescing identity: two arrays with equal content and layout
+share cached results), and grows fluent query methods — ``data.select(k)``,
+``data.median()``, ``data.quantiles(qs)``, ``data.multi_select(ks)`` — that
+route through the machine's default session, so repeated traffic against
+the same array is served from cache without relaunching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from ..balance.base import get_balancer
+from ..balance.metrics import ImbalanceStats, imbalance_stats
+from ..data.generators import generate_shards, shard_sizes
+from ..errors import ConfigurationError
+from ..kernels.costed import CostedKernels
+from ..machine.cost_model import CM5, CostModel
+from ..machine.engine import SPMDResult, SPMDRuntime
+
+if TYPE_CHECKING:
+    from .plan import SelectionPlan
+    from .reports import MultiSelectionReport, SelectionReport
+    from .session import Session
+
+__all__ = ["Machine", "DistributedArray"]
+
+
+class Machine:
+    """A simulated coarse-grained machine: ``p`` processors + a cost model."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        cost_model: CostModel | None = None,
+        trace: bool = False,
+    ):
+        self.runtime = SPMDRuntime(
+            n_procs, cost_model=cost_model if cost_model is not None else CM5,
+            trace=trace,
+        )
+        self._default_session: Optional["Session"] = None
+
+    @property
+    def n_procs(self) -> int:
+        return self.runtime.n_procs
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.runtime.cost_model
+
+    @property
+    def launch_count(self) -> int:
+        """SPMD launches executed on this machine so far (coalescing and
+        cache-hit claims are asserted against deltas of this counter)."""
+        return self.runtime.launch_count
+
+    # ---------------------------------------------------------------- serving
+
+    def session(
+        self,
+        plan: "SelectionPlan | None" = None,
+        cache: bool = True,
+        max_cache_entries: int = 65536,
+    ) -> "Session":
+        """A new :class:`~repro.core.session.Session` bound to this machine."""
+        from .session import Session
+
+        return Session(self, plan=plan, cache=cache,
+                       max_cache_entries=max_cache_entries)
+
+    @property
+    def default_session(self) -> "Session":
+        """The machine-wide cached session the fluent array methods use."""
+        if self._default_session is None:
+            self._default_session = self.session()
+        return self._default_session
+
+    # ------------------------------------------------------------- data in
+
+    def distribute(self, data: np.ndarray) -> "DistributedArray":
+        """Block-distribute a host array over the processors."""
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise ConfigurationError("distribute expects a 1-D array")
+        sizes = shard_sizes(data.size, self.n_procs)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        shards = [
+            data[offsets[r]: offsets[r + 1]].copy() for r in range(self.n_procs)
+        ]
+        return DistributedArray(self, shards)
+
+    def from_shards(self, shards: Sequence[np.ndarray]) -> "DistributedArray":
+        """Adopt externally-prepared per-processor shards."""
+        if len(shards) != self.n_procs:
+            raise ConfigurationError(
+                f"need exactly {self.n_procs} shards, got {len(shards)}"
+            )
+        return DistributedArray(self, [np.asarray(s) for s in shards])
+
+    def generate(
+        self, n: int, distribution: str = "random", seed: int = 0
+    ) -> "DistributedArray":
+        """Generate one of the named workloads directly in distributed form."""
+        return DistributedArray(
+            self, generate_shards(n, self.n_procs, distribution, seed)
+        )
+
+    def run(self, fn, rank_args=None, args=(), kwargs=None) -> SPMDResult:
+        """Escape hatch: run a raw SPMD program on this machine."""
+        return self.runtime.run(fn, rank_args=rank_args, args=args, kwargs=kwargs)
+
+
+@dataclass
+class DistributedArray:
+    """A 1-D array block-distributed over a machine's processors."""
+
+    machine: Machine
+    shards: list[np.ndarray]
+    _fingerprint: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def n(self) -> int:
+        return int(sum(s.size for s in self.shards))
+
+    @property
+    def p(self) -> int:
+        return self.machine.n_procs
+
+    @property
+    def counts(self) -> list[int]:
+        return [int(s.size) for s in self.shards]
+
+    def imbalance(self) -> ImbalanceStats:
+        return imbalance_stats(self.counts)
+
+    def gather(self) -> np.ndarray:
+        """Materialise the full array on the host (tests/examples only)."""
+        live = [s for s in self.shards if s.size]
+        if live:
+            return np.concatenate(live)
+        # All shards empty: preserve their dtype instead of collapsing to
+        # NumPy's float64 default.
+        if self.shards:
+            return np.array([], dtype=self.shards[0].dtype)
+        return np.array([])
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def fingerprint(self) -> str:
+        """Content + layout hash: the cache/coalescing identity of this
+        array.
+
+        Computed lazily over the shard bytes and memoised; call
+        :meth:`invalidate` after mutating ``shards`` in place so cached
+        results are not served for stale content.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha1()
+            h.update(str(len(self.shards)).encode())
+            for s in self.shards:
+                a = np.ascontiguousarray(s)
+                h.update(str(a.dtype).encode())
+                h.update(str(a.size).encode())
+                h.update(a.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    def invalidate(self) -> None:
+        """Forget the memoised fingerprint (shards were mutated in place)."""
+        self._fingerprint = None
+
+    # ---------------------------------------------------------- fluent API
+
+    def select(self, k: int, plan: "SelectionPlan | None" = None,
+               **overrides) -> "SelectionReport":
+        """Rank-``k`` selection through the machine's default session
+        (single-rank engine; repeated queries are cache hits)."""
+        return self.machine.default_session.run_select(
+            self, k, plan, **overrides
+        )
+
+    def median(self, plan: "SelectionPlan | None" = None,
+               **overrides) -> "SelectionReport":
+        """The paper's flagship query: rank ``ceil(n/2)`` selection."""
+        from ..kernels.select import median_rank
+
+        return self.select(median_rank(self.n), plan, **overrides)
+
+    def multi_select(self, ks: Sequence[int],
+                     plan: "SelectionPlan | None" = None,
+                     **overrides) -> "MultiSelectionReport":
+        """Every rank in ``ks`` in (at most) one SPMD launch, cache-aware."""
+        return self.machine.default_session.run_multi_select(
+            self, ks, plan, **overrides
+        )
+
+    def quantiles(self, qs: Sequence[float],
+                  plan: "SelectionPlan | None" = None,
+                  **overrides) -> "list[SelectionReport]":
+        """Exact quantiles via the batched multi-rank path, cache-aware."""
+        return self.machine.default_session.run_quantiles(
+            self, qs, plan, **overrides
+        )
+
+    def rebalance(
+        self, method="global_exchange"
+    ) -> tuple["DistributedArray", SPMDResult]:
+        """Standalone load balancing of this array.
+
+        Returns the rebalanced array plus the raw :class:`SPMDResult` (for
+        its simulated-time breakdown).
+        """
+        balancer = get_balancer(method)
+
+        def program(ctx, shard):
+            return balancer.rebalance(ctx, CostedKernels(ctx), shard)
+
+        result = self.machine.run(program, rank_args=[(s,) for s in self.shards])
+        return DistributedArray(self.machine, result.values), result

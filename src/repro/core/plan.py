@@ -1,0 +1,222 @@
+"""The :class:`SelectionPlan`: a frozen, validated recipe for selection.
+
+Historically every entry point (``select``, ``multi_select``, ``median``,
+``quantiles``, the bench harness) re-declared the same eight tuning kwargs
+and re-validated them on every call. A plan names that configuration ONCE —
+algorithm, balancer, seed, sequential method, endgame/iteration limits,
+fast-randomized parameters — validates it at construction (unknown names
+raise :class:`~repro.errors.ConfigurationError` listing the available
+options), and is then reused across any number of queries. Plans are frozen
+and carry a stable :meth:`cache_key`, which is what lets a
+:class:`~repro.core.session.Session` coalesce queries and cache results
+per ``(array fingerprint, plan, rank)``.
+
+``plan.resolve()`` reproduces the historical ``_resolve_config`` pairing
+bit-for-bit: ``balancer="default"`` maps to the paper's pairing (global
+exchange for median of medians, nothing otherwise), and a fresh balancer
+instance is built per resolution so stateful balancers never leak between
+launches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+from dataclasses import dataclass
+from typing import Optional, get_args
+
+from ..balance.base import Balancer, get_balancer
+from ..errors import ConfigurationError
+from ..kernels.select import SelectMethod
+from ..selection import ALGORITHMS, SelectionConfig
+from ..selection.fast_randomized import FastRandomizedParams
+
+__all__ = ["SelectionPlan", "SEQUENTIAL_METHODS", "as_plan"]
+
+#: The sequential kernels ``sequential_method`` / ``impl_override`` accept.
+SEQUENTIAL_METHODS: tuple[str, ...] = get_args(SelectMethod)
+
+
+def _check_method(value: Optional[str], what: str) -> None:
+    if value is not None and value not in SEQUENTIAL_METHODS:
+        raise ConfigurationError(
+            f"unknown {what} {value!r}; available: {sorted(SEQUENTIAL_METHODS)}"
+        )
+
+
+def _as_int(value, what: str, minimum: Optional[int] = None) -> int:
+    """Coerce any integral (int, numpy integer) to a plain int; bools and
+    non-integrals are configuration errors."""
+    if isinstance(value, numbers.Integral) and not isinstance(value, bool):
+        value = int(value)
+        if minimum is None or value >= minimum:
+            return value
+    kind = "an integer" if minimum is None else "a non-negative integer"
+    raise ConfigurationError(f"{what} must be {kind}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class SelectionPlan:
+    """A validated, reusable selection configuration.
+
+    Attributes
+    ----------
+    algorithm:
+        One of :data:`repro.selection.ALGORITHMS`.
+    balancer:
+        Load balancing strategy name (``"none"``, ``"omlb"``,
+        ``"modified_omlb"``, ``"dimension_exchange"``, ``"global_exchange"``),
+        a :class:`~repro.balance.base.Balancer` class/instance, ``None``
+        (no balancing), or ``"default"`` for the paper's pairing.
+    seed:
+        Drives every stochastic choice; equal seeds give bit-identical runs
+        (values *and* simulated times).
+    sequential_method:
+        Sequential kernel for local medians and the endgame (``None`` = the
+        algorithm's paper default).
+    endgame_threshold / max_iterations:
+        Contraction limits (``None`` = the paper's ``p^2`` bound and the
+        ``~4 log2 n`` safety guard).
+    fast_params:
+        Algorithm 4 tuning knobs; only consumed by ``fast_randomized``.
+    impl_override:
+        Sequential kernel that *executes* local selections while simulated
+        cost still follows ``sequential_method`` (the bench harness sets
+        ``"introselect"`` on huge grids).
+    """
+
+    algorithm: str = "fast_randomized"
+    balancer: object = "default"
+    seed: int = 0
+    sequential_method: Optional[str] = None
+    endgame_threshold: Optional[int] = None
+    max_iterations: Optional[int] = None
+    fast_params: Optional[FastRandomizedParams] = None
+    impl_override: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"available: {sorted(ALGORITHMS)}"
+            )
+        if self.balancer != "default":
+            # get_balancer raises the registry's "unknown balancer ...;
+            # available: ..." message for bad names.
+            get_balancer(self.balancer)
+        # Coerce integral knobs (numpy integers from sweeps included) to
+        # plain ints; the dataclass is frozen, hence object.__setattr__.
+        object.__setattr__(self, "seed", _as_int(self.seed, "seed"))
+        # 0 is meaningful for both limits: max_iterations=0 fires the guard
+        # immediately, endgame_threshold=0 clamps to the minimum live set.
+        for field_name in ("endgame_threshold", "max_iterations"):
+            value = getattr(self, field_name)
+            if value is not None:
+                object.__setattr__(
+                    self, field_name, _as_int(value, field_name, 0)
+                )
+        _check_method(self.sequential_method, "sequential method")
+        _check_method(self.impl_override, "sequential method (impl_override)")
+        if self.fast_params is not None and not isinstance(
+            self.fast_params, FastRandomizedParams
+        ):
+            raise ConfigurationError(
+                f"fast_params must be a FastRandomizedParams, "
+                f"got {type(self.fast_params).__name__}"
+            )
+
+    # ------------------------------------------------------------ resolution
+
+    def resolve(self) -> tuple[object, SelectionConfig, str]:
+        """Build ``(spmd_fn, SelectionConfig, balancer_name)`` for a launch.
+
+        A fresh balancer instance is created per call, exactly as the
+        historical per-call resolution did.
+        """
+        fn, default_seq, needs_balance = ALGORITHMS[self.algorithm]
+        if self.balancer == "default":
+            # Paper defaults: MoM requires balancing (its figures use global
+            # exchange); everything else runs without.
+            balancer_obj: Balancer = get_balancer(
+                "global_exchange" if needs_balance else None
+            )
+        else:
+            balancer_obj = get_balancer(self.balancer)
+        cfg = SelectionConfig(
+            balancer=balancer_obj,
+            sequential_method=self.sequential_method or default_seq,
+            seed=self.seed,
+            endgame_threshold=self.endgame_threshold,
+            max_iterations=self.max_iterations,
+            impl_override=self.impl_override,
+        )
+        return fn, cfg, type(balancer_obj).__name__
+
+    # --------------------------------------------------------------- keying
+
+    def cache_key(self) -> tuple:
+        """A hashable token identifying every behaviour-relevant knob.
+
+        Two plans with equal keys produce bit-identical answers and
+        simulated times over the same data, which is what the Session
+        result cache relies on.
+        """
+        b = self.balancer
+        if b is None:
+            balancer_token = "none"
+        elif isinstance(b, str):
+            balancer_token = b
+        elif isinstance(b, type):
+            balancer_token = f"class:{b.__name__}"
+        else:
+            # A live instance: identity matters (it may carry state).
+            balancer_token = f"instance:{type(b).__name__}:{id(b)}"
+        fp = (
+            dataclasses.astuple(self.fast_params)
+            if self.fast_params is not None else None
+        )
+        return (
+            self.algorithm,
+            balancer_token,
+            self.seed,
+            self.sequential_method,
+            self.endgame_threshold,
+            self.max_iterations,
+            fp,
+            self.impl_override,
+        )
+
+    def replace(self, **changes) -> "SelectionPlan":
+        """A new plan with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human summary (bench tables, example output)."""
+        bal = self.balancer if isinstance(self.balancer, str) else (
+            "none" if self.balancer is None else type(self.balancer).__name__
+        )
+        parts = [f"algorithm={self.algorithm}", f"balancer={bal}",
+                 f"seed={self.seed}"]
+        for name in ("sequential_method", "endgame_threshold",
+                     "max_iterations", "impl_override"):
+            v = getattr(self, name)
+            if v is not None:
+                parts.append(f"{name}={v}")
+        if self.fast_params is not None:
+            parts.append(f"fast_params={self.fast_params}")
+        return "SelectionPlan(" + ", ".join(parts) + ")"
+
+
+def as_plan(plan: Optional[SelectionPlan], overrides: dict) -> SelectionPlan:
+    """Normalise ``(plan, kwargs)`` call sites to one validated plan.
+
+    ``None`` + kwargs builds a fresh plan; an existing plan + kwargs is
+    :meth:`SelectionPlan.replace`-d (both re-validate).
+    """
+    if plan is None:
+        return SelectionPlan(**overrides)
+    if not isinstance(plan, SelectionPlan):
+        raise ConfigurationError(
+            f"plan must be a SelectionPlan or None, got {type(plan).__name__}"
+        )
+    return plan.replace(**overrides) if overrides else plan

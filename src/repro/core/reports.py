@@ -1,0 +1,77 @@
+"""Report types every selection launch produces.
+
+A *report* is the caller-facing record of one answered query: the value(s),
+the target rank(s), and the launch evidence (simulated-time breakdown,
+per-iteration statistics, the raw :class:`~repro.machine.engine.SPMDResult`).
+Three shapes exist:
+
+* :class:`SelectionReport` — one rank, one value (``select`` / ``median``
+  and every per-quantile view);
+* :class:`MultiSelectionReport` — a whole set of ranks answered by one
+  batched contraction (``multi_select`` and coalesced Session flushes);
+* :class:`_RunReport` — the shared base carrying the launch metrics.
+
+Reports served from a :class:`~repro.core.session.Session` result cache set
+``cached=True``: the values and simulated metrics are those of the
+originating launch (selection is deterministic per plan), but no new SPMD
+launch was paid for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.clock import TimeBreakdown
+from ..machine.engine import SPMDResult
+from ..selection import MultiSelectionStats, SelectionStats
+
+__all__ = ["SelectionReport", "MultiSelectionReport"]
+
+
+@dataclass
+class _RunReport:
+    """Metrics every selection launch produces (single- or multi-rank)."""
+
+    n: int
+    p: int
+    algorithm: str
+    balancer: str
+    simulated_time: float
+    wall_time: float
+    breakdown: TimeBreakdown
+    result: Optional[SPMDResult] = field(repr=False, default=None)
+    #: True when this report was served from a Session's result cache (the
+    #: metrics describe the originating launch; no new launch happened).
+    cached: bool = False
+
+    @property
+    def balance_time(self) -> float:
+        """Simulated seconds spent load balancing (max across ranks)."""
+        return self.result.balance_time if self.result else self.breakdown.balance
+
+
+@dataclass
+class SelectionReport(_RunReport):
+    """Everything a run of :func:`repro.select` produced."""
+
+    value: object = None
+    k: int = 0
+    stats: SelectionStats = field(default_factory=SelectionStats)
+
+
+@dataclass
+class MultiSelectionReport(_RunReport):
+    """Everything a run of :func:`repro.multi_select` produced.
+
+    ``values`` aligns with the caller's ``ks`` (duplicates included, input
+    order preserved); the simulated metrics cover the whole batched run —
+    one SPMD launch answered every rank.
+    """
+
+    values: list = field(default_factory=list)
+    ks: list[int] = field(default_factory=list)
+    stats: MultiSelectionStats = field(default_factory=MultiSelectionStats)
+
+    def __len__(self) -> int:
+        return len(self.values)

@@ -1,0 +1,696 @@
+"""The serving layer: :class:`Session` — query coalescing + result caching.
+
+The paper's algorithms answer one query per SPMD launch; PR 1's contraction
+engine already answers a whole *set* of ranks in one launch. A Session is
+the API that lets callers exploit that without hand-assembling rank
+batches:
+
+* **Deferred queries.** ``session.select(data, k)``, ``.median(data)`` and
+  ``.quantiles(data, qs)`` return lightweight futures immediately; nothing
+  launches until :meth:`Session.flush` (or context-manager exit, or the
+  first ``future.result()``).
+* **Coalescing.** ``flush()`` groups every pending rank query by
+  ``(array fingerprint, plan)`` and answers each group with ONE
+  ``multi_select`` SPMD launch through the batched contraction engine —
+  ``q`` same-array queries cost one launch, not ``q``.
+* **Result cache.** Answers are cached per ``(array fingerprint, plan,
+  rank)``; re-queried ranks are served with ZERO new launches (selection is
+  deterministic per plan, so cached values *and* simulated metrics are
+  exactly what a relaunch would produce). Reports served from cache set
+  ``cached=True``.
+* **Immediate paths.** :meth:`run_select` / :meth:`run_multi_select` /
+  :meth:`run_quantiles` answer now (still cache-aware). ``run_select``
+  drives the historical single-rank engine, which is how the legacy
+  top-level functions stay bit-identical to their pre-Session behaviour;
+  the deferred/coalesced path always uses the batched engine.
+
+Module-level :func:`execute_select` / :func:`execute_multi_select` are the
+uncached launch primitives (faithful ports of the historical ``select`` /
+``multi_select`` bodies — same collective sequences, RNG streams and
+simulated times).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..kernels.select import median_rank
+from ..machine.clock import TimeBreakdown
+from ..selection import (
+    STRATEGIES,
+    MultiSelectionStats,
+    SelectionStats,
+    contract_multi_select,
+    sort_based_multi_select,
+)
+from .plan import SelectionPlan, as_plan
+from .reports import MultiSelectionReport, SelectionReport
+
+if TYPE_CHECKING:
+    from .array import DistributedArray, Machine
+
+__all__ = [
+    "Session",
+    "SessionStats",
+    "SelectionFuture",
+    "MultiSelectionFuture",
+    "execute_select",
+    "execute_multi_select",
+]
+
+
+# --------------------------------------------------------------------------
+# Launch primitives (uncached; bit-identical to the historical entry points)
+# --------------------------------------------------------------------------
+
+
+def execute_select(
+    data: "DistributedArray", k: int, plan: SelectionPlan
+) -> SelectionReport:
+    """One single-rank selection launch (the historical ``select`` body)."""
+    fn, cfg, balancer_name = plan.resolve()
+    extra: tuple = ()
+    if plan.algorithm == "fast_randomized" and plan.fast_params is not None:
+        extra = (plan.fast_params,)
+
+    def program(ctx, shard, target_k, config):
+        return fn(ctx, shard.copy(), target_k, config, *extra)
+
+    result = data.machine.run(
+        program,
+        rank_args=[(s,) for s in data.shards],
+        args=(k, cfg),
+    )
+    values = [v[0] for v in result.values]
+    stats: SelectionStats = result.values[0][1]
+    first = values[0]
+    assert all(v == first for v in values), "ranks disagree on the answer"
+    return SelectionReport(
+        value=first,
+        k=k,
+        n=data.n,
+        p=data.p,
+        algorithm=plan.algorithm,
+        balancer=balancer_name,
+        simulated_time=result.simulated_time,
+        wall_time=result.wall_time,
+        breakdown=result.breakdown,
+        stats=stats,
+        result=result,
+    )
+
+
+def execute_multi_select(
+    data: "DistributedArray", ks: Sequence[int], plan: SelectionPlan
+) -> MultiSelectionReport:
+    """One batched multi-rank launch (the historical ``multi_select`` body).
+
+    Every rank in ``ks`` is answered by ONE contraction: the engine tracks
+    the whole target set through a single iterate-shrink pass, forking the
+    live set when a pivot lands between two targets, and the endgame costs
+    one Gather + Broadcast however many intervals survive.
+    """
+    ks = [int(k) for k in ks]
+    n = data.n
+    for k in ks:
+        if not (1 <= k <= max(n, 0)):
+            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+    _fn, cfg, balancer_name = plan.resolve()
+    if plan.algorithm.startswith("hybrid_"):
+        # Same forcing the single-rank hybrids apply: deterministic
+        # parallel structure, randomized sequential parts.
+        cfg = dataclasses.replace(cfg, sequential_method="randomized")
+    if not ks:
+        return MultiSelectionReport(
+            values=[], ks=[], n=n, p=data.p, algorithm=plan.algorithm,
+            balancer=balancer_name, simulated_time=0.0, wall_time=0.0,
+            breakdown=TimeBreakdown(),
+            stats=MultiSelectionStats(algorithm=plan.algorithm, n=n, p=data.p),
+        )
+    unique_ks = sorted(set(ks))
+
+    if plan.algorithm == "sort_based":
+        def program(ctx, shard, ks_sorted, config):
+            return sort_based_multi_select(ctx, shard.copy(), ks_sorted, config)
+    else:
+        strategy_factory = STRATEGIES[plan.algorithm]
+
+        def program(ctx, shard, ks_sorted, config):
+            return contract_multi_select(
+                ctx, shard.copy(), ks_sorted, config,
+                strategy_factory(plan.fast_params), algorithm=plan.algorithm,
+            )
+
+    result = data.machine.run(
+        program,
+        rank_args=[(s,) for s in data.shards],
+        args=(unique_ks, cfg),
+    )
+    all_values = [v[0] for v in result.values]
+    stats: MultiSelectionStats = result.values[0][1]
+    first = all_values[0]
+    assert all(
+        len(v) == len(first) and all(a == b for a, b in zip(v, first))
+        for v in all_values
+    ), "ranks disagree on the answers"
+    by_rank = dict(zip(unique_ks, first))
+    return MultiSelectionReport(
+        values=[by_rank[k] for k in ks],
+        ks=ks,
+        n=n,
+        p=data.p,
+        algorithm=plan.algorithm,
+        balancer=balancer_name,
+        simulated_time=result.simulated_time,
+        wall_time=result.wall_time,
+        breakdown=result.breakdown,
+        stats=stats,
+        result=result,
+    )
+
+
+def per_rank_view(metrics, k: int, value, cached: bool = False) -> SelectionReport:
+    """A per-rank :class:`SelectionReport` view of shared batched evidence.
+
+    ``metrics`` is anything launch-shaped (a :class:`MultiSelectionReport`
+    or a cache entry's metrics): the view carries the correct target rank, a
+    SelectionStats-shaped stats block, and iteration records aliased from
+    the one launch that produced every answer.
+    """
+    return SelectionReport(
+        value=value,
+        k=k,
+        n=metrics.n,
+        p=metrics.p,
+        algorithm=metrics.algorithm,
+        balancer=metrics.balancer,
+        simulated_time=metrics.simulated_time,
+        wall_time=metrics.wall_time,
+        breakdown=metrics.breakdown,
+        stats=SelectionStats(
+            algorithm=metrics.stats.algorithm,
+            n=metrics.stats.n,
+            p=metrics.stats.p,
+            k=k,
+            iterations=metrics.stats.iterations,
+            endgame_n=metrics.stats.endgame_n,
+            found_by_pivot=bool(metrics.stats.found_by_pivot),
+            balance_invocations=metrics.stats.balance_invocations,
+            unsuccessful_iterations=metrics.stats.unsuccessful_iterations,
+        ),
+        result=metrics.result,
+        cached=cached,
+    )
+
+
+def quantile_rank(q: float, n: int) -> int:
+    """Quantile fraction -> 1-based rank: ``ceil(q * n)`` (``q=0.5`` is the
+    paper's median). Raises for ``q`` outside ``(0, 1]``."""
+    if not (0.0 < q <= 1.0):
+        raise ConfigurationError(f"quantile {q!r} outside (0, 1]")
+    return max(1, int(np.ceil(q * n)))
+
+
+# --------------------------------------------------------------------------
+# Session internals
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _LaunchMetrics:
+    """The shared evidence of one batched launch, referenced by every cache
+    entry and future it answered."""
+
+    n: int
+    p: int
+    algorithm: str
+    balancer: str
+    simulated_time: float
+    wall_time: float
+    breakdown: TimeBreakdown
+    stats: MultiSelectionStats
+    result: object
+
+    @classmethod
+    def from_multi(cls, multi: MultiSelectionReport) -> "_LaunchMetrics":
+        return cls(
+            n=multi.n, p=multi.p, algorithm=multi.algorithm,
+            balancer=multi.balancer, simulated_time=multi.simulated_time,
+            wall_time=multi.wall_time, breakdown=multi.breakdown,
+            stats=multi.stats, result=multi.result,
+        )
+
+
+@dataclass
+class _CacheEntry:
+    """One answered rank: its value + the metrics of the launch that
+    answered it."""
+
+    value: object
+    metrics: _LaunchMetrics
+
+
+@dataclass
+class SessionStats:
+    """Serving counters (what the bench/acceptance assertions read)."""
+
+    #: Rank queries accepted (deferred futures + immediate run_* calls).
+    queries: int = 0
+    #: SPMD launches this session paid for.
+    launches: int = 0
+    #: flush() calls that found pending work.
+    flushes: int = 0
+    #: Deferred queries answered by a shared (coalesced) launch or cache.
+    coalesced_queries: int = 0
+    #: Individual ranks served from the result cache.
+    cache_hits: int = 0
+    #: Individual ranks that required launch work.
+    cache_misses: int = 0
+
+
+class _Future:
+    """Base future: resolved (or failed) by the owning session's flush."""
+
+    __slots__ = ("_session", "data", "plan", "_report", "_error")
+
+    def __init__(self, session: "Session", data: "DistributedArray",
+                 plan: SelectionPlan):
+        self._session = session
+        self.data = data
+        self.plan = plan
+        self._report = None
+        self._error = None
+
+    @property
+    def done(self) -> bool:
+        """True once a flush has produced this future's report (or its
+        launch failed — ``result()`` then re-raises the launch error)."""
+        return self._report is not None or self._error is not None
+
+    def _await(self):
+        if self._report is None and self._error is None:
+            self._session.flush()
+        if self._error is not None:
+            raise self._error
+        if self._report is None:  # pragma: no cover - internal invariant
+            raise RuntimeError("flush did not resolve this future")
+        return self._report
+
+
+class SelectionFuture(_Future):
+    """A pending single-rank query; ``result()`` flushes the session."""
+
+    __slots__ = ("k",)
+
+    def __init__(self, session, data, k: int, plan):
+        super().__init__(session, data, plan)
+        self.k = k
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return (self.k,)
+
+    def result(self) -> SelectionReport:
+        """The :class:`SelectionReport` (coalesced flush on first call)."""
+        return self._await()
+
+    @property
+    def value(self):
+        """Shortcut for ``result().value``."""
+        return self.result().value
+
+
+class MultiSelectionFuture(_Future):
+    """A pending multi-rank query; ``result()`` flushes the session."""
+
+    __slots__ = ("ks",)
+
+    def __init__(self, session, data, ks: list[int], plan):
+        super().__init__(session, data, plan)
+        self.ks = ks
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(self.ks)
+
+    def result(self) -> MultiSelectionReport:
+        """The :class:`MultiSelectionReport` (coalesced flush on first
+        call)."""
+        return self._await()
+
+    @property
+    def values(self) -> list:
+        """Shortcut for ``result().values``."""
+        return self.result().values
+
+
+class Session:
+    """A query-serving session bound to one :class:`Machine`.
+
+    Parameters
+    ----------
+    machine:
+        The machine every query's data must live on.
+    plan:
+        Default :class:`SelectionPlan` for queries that do not carry one.
+    cache:
+        Enable the result cache (per ``(array fingerprint, plan, rank)``).
+    max_cache_entries:
+        LRU bound on cached ranks.
+
+    Usage::
+
+        with machine.session() as s:
+            f50 = s.select(data, n // 2)
+            f90 = s.select(data, 9 * n // 10)
+            f99 = s.select(data, 99 * n // 100)
+        # exiting flushed: ONE SPMD launch answered all three
+        print(f50.value, f90.value, f99.value)
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        plan: Optional[SelectionPlan] = None,
+        cache: bool = True,
+        max_cache_entries: int = 65536,
+    ):
+        if plan is not None and not isinstance(plan, SelectionPlan):
+            raise ConfigurationError(
+                f"plan must be a SelectionPlan or None, "
+                f"got {type(plan).__name__}"
+            )
+        if max_cache_entries < 1:
+            raise ConfigurationError(
+                f"max_cache_entries must be >= 1, got {max_cache_entries}"
+            )
+        self.machine = machine
+        self.plan = plan if plan is not None else SelectionPlan()
+        self.cache_enabled = bool(cache)
+        self.max_cache_entries = max_cache_entries
+        self.stats = SessionStats()
+        self._pending: list[_Future] = []
+        self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+
+    # ----------------------------------------------------------- plumbing
+
+    def _plan_for(self, plan: Optional[SelectionPlan],
+                  overrides: dict) -> SelectionPlan:
+        if plan is None and not overrides:
+            return self.plan
+        if plan is None:
+            return self.plan.replace(**overrides)
+        return as_plan(plan, overrides)
+
+    def _check_data(self, data: "DistributedArray") -> None:
+        if data.machine is not self.machine:
+            raise ConfigurationError(
+                "query data lives on a different Machine than this session"
+            )
+
+    def _check_rank(self, k: int, n: int) -> int:
+        k = int(k)
+        if not (1 <= k <= max(n, 0)):
+            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+        return k
+
+    # LRU cache primitives -------------------------------------------------
+
+    def _cache_get(self, key: tuple) -> Optional[_CacheEntry]:
+        if not self.cache_enabled:
+            return None
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, key: tuple, entry) -> None:
+        if not self.cache_enabled:
+            return
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_cache_entries:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    @property
+    def pending_count(self) -> int:
+        """Queries queued but not yet flushed."""
+        return len(self._pending)
+
+    # ------------------------------------------------------ deferred queries
+
+    def select(self, data: "DistributedArray", k: int,
+               plan: Optional[SelectionPlan] = None,
+               **overrides) -> SelectionFuture:
+        """Queue a rank-``k`` query; returns a future. Nothing launches
+        until :meth:`flush` — same-array queries coalesce into one batched
+        launch."""
+        self._check_data(data)
+        k = self._check_rank(k, data.n)
+        fut = SelectionFuture(self, data, k, self._plan_for(plan, overrides))
+        self._pending.append(fut)
+        self.stats.queries += 1
+        return fut
+
+    def median(self, data: "DistributedArray",
+               plan: Optional[SelectionPlan] = None,
+               **overrides) -> SelectionFuture:
+        """Queue the rank-``ceil(n/2)`` query."""
+        return self.select(data, median_rank(data.n), plan, **overrides)
+
+    def quantiles(self, data: "DistributedArray", qs: Sequence[float],
+                  plan: Optional[SelectionPlan] = None,
+                  **overrides) -> list[SelectionFuture]:
+        """Queue one query per quantile fraction; all of them (plus any
+        other pending same-array queries) share one flush launch."""
+        self._check_data(data)
+        ks = [quantile_rank(q, data.n) for q in qs]
+        return [self.select(data, k, plan, **overrides) for k in ks]
+
+    def multi_select(self, data: "DistributedArray", ks: Sequence[int],
+                     plan: Optional[SelectionPlan] = None,
+                     **overrides) -> MultiSelectionFuture:
+        """Queue a whole rank set as one future (``values`` align with
+        ``ks``, duplicates and arbitrary order preserved)."""
+        self._check_data(data)
+        checked = [self._check_rank(k, data.n) for k in ks]
+        fut = MultiSelectionFuture(
+            self, data, checked, self._plan_for(plan, overrides)
+        )
+        self._pending.append(fut)
+        self.stats.queries += 1
+        return fut
+
+    # --------------------------------------------------------------- flush
+
+    def flush(self) -> list:
+        """Answer every pending query.
+
+        Pending queries are grouped by ``(array fingerprint, plan)``; each
+        group's not-yet-cached ranks are answered by ONE batched
+        ``multi_select`` SPMD launch, then every future is served from the
+        (now warm) result cache. Returns the resolved futures.
+
+        A failing group does not strand the others: every remaining group
+        is still served, the failing group's futures record the launch
+        error (their ``result()`` re-raises it), and the first error is
+        re-raised once all groups have been attempted.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return []
+        self.stats.flushes += 1
+        groups: OrderedDict[tuple, list[_Future]] = OrderedDict()
+        for fut in pending:
+            key = (fut.data.fingerprint, fut.plan.cache_key())
+            groups.setdefault(key, []).append(fut)
+        first_error: Optional[BaseException] = None
+        for (fp, plan_key), futs in groups.items():
+            try:
+                self._serve_group(fp, plan_key, futs)
+            except Exception as exc:
+                for fut in futs:
+                    if fut._report is None:
+                        fut._error = exc
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return pending
+
+    def _serve_group(self, fp: str, plan_key: tuple,
+                     futs: list[_Future]) -> None:
+        data, plan = futs[0].data, futs[0].plan
+        needed = sorted({k for fut in futs for k in fut.ranks})
+        entries: dict[int, _CacheEntry] = {}
+        hit_ks: set[int] = set()
+        missing: list[int] = []
+        for k in needed:
+            entry = self._cache_get(("multi", fp, plan_key, k))
+            if entry is None:
+                missing.append(k)
+            else:
+                entries[k] = entry
+                hit_ks.add(k)
+        self.stats.cache_hits += len(hit_ks)
+        self.stats.cache_misses += len(missing)
+        launched: Optional[_LaunchMetrics] = None
+        if missing:
+            multi = execute_multi_select(data, missing, plan)
+            self.stats.launches += 1
+            launched = _LaunchMetrics.from_multi(multi)
+            for k, value in zip(missing, multi.values):
+                entry = _CacheEntry(value=value, metrics=launched)
+                entries[k] = entry
+                self._cache_put(("multi", fp, plan_key, k), entry)
+        for fut in futs:
+            self.stats.coalesced_queries += 1
+            if isinstance(fut, SelectionFuture):
+                entry = entries[fut.k]
+                fut._report = per_rank_view(
+                    entry.metrics, fut.k, entry.value,
+                    cached=fut.k in hit_ks,
+                )
+            else:
+                fut._report = self._multi_report(
+                    fut, entries, hit_ks, launched
+                )
+
+    def _multi_report(self, fut: MultiSelectionFuture,
+                      entries: dict[int, _CacheEntry], hit_ks: set[int],
+                      launched: Optional[_LaunchMetrics]) -> MultiSelectionReport:
+        data, plan = fut.data, fut.plan
+        if not fut.ks:
+            # Historical empty-set behaviour: an empty report, no launch.
+            return execute_multi_select(data, [], plan)
+        all_cached = all(k in hit_ks for k in fut.ks)
+        # A fully-cached report must carry its *originating* launch's
+        # metrics (what a relaunch would produce), not those of whatever
+        # launch this flush happened to pay for other futures' ranks.
+        metrics = entries[fut.ks[0]].metrics if all_cached else launched
+        return MultiSelectionReport(
+            values=[entries[k].value for k in fut.ks],
+            ks=list(fut.ks),
+            n=metrics.n,
+            p=metrics.p,
+            algorithm=metrics.algorithm,
+            balancer=metrics.balancer,
+            simulated_time=metrics.simulated_time,
+            wall_time=metrics.wall_time,
+            breakdown=metrics.breakdown,
+            stats=metrics.stats,
+            result=metrics.result,
+            cached=all_cached,
+        )
+
+    # ---------------------------------------------------- immediate queries
+
+    def run_select(self, data: "DistributedArray", k: int,
+                   plan: Optional[SelectionPlan] = None,
+                   **overrides) -> SelectionReport:
+        """Answer rank ``k`` NOW through the single-rank engine.
+
+        Cache-aware (namespace ``"select"``): a repeat of an answered
+        ``(array, plan, k)`` costs zero launches and returns the original
+        launch's value and simulated metrics with ``cached=True``. This is
+        the path the legacy :func:`repro.select` shim and the fluent
+        ``data.select(k)`` ride, so their collective sequences, RNG streams
+        and simulated times are bit-identical to the pre-Session API.
+        """
+        self._check_data(data)
+        plan = self._plan_for(plan, overrides)
+        self.stats.queries += 1
+        key = None
+        if self.cache_enabled:
+            key = ("select", data.fingerprint, plan.cache_key(), int(k))
+            hit = self._cache_get(key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return dataclasses.replace(hit, cached=True)
+            self.stats.cache_misses += 1
+        report = execute_select(data, k, plan)
+        self.stats.launches += 1
+        if key is not None:
+            self._cache_put(key, report)
+        return report
+
+    def run_median(self, data: "DistributedArray",
+                   plan: Optional[SelectionPlan] = None,
+                   **overrides) -> SelectionReport:
+        """Answer the median NOW (rank ``ceil(n/2)`` via
+        :meth:`run_select`)."""
+        return self.run_select(data, median_rank(data.n), plan, **overrides)
+
+    def run_multi_select(self, data: "DistributedArray", ks: Sequence[int],
+                         plan: Optional[SelectionPlan] = None,
+                         **overrides) -> MultiSelectionReport:
+        """Answer every rank in ``ks`` NOW: at most one batched launch,
+        with cached ranks excluded from the launch entirely."""
+        self._check_data(data)
+        plan = self._plan_for(plan, overrides)
+        self.stats.queries += 1
+        if not self.cache_enabled:
+            report = execute_multi_select(data, ks, plan)
+            if report.result is not None:
+                self.stats.launches += 1
+            return report
+        fut = MultiSelectionFuture(
+            self, data, [self._check_rank(k, data.n) for k in ks], plan
+        )
+        self._serve_group(data.fingerprint, plan.cache_key(), [fut])
+        self.stats.coalesced_queries -= 1  # not a coalesced deferred query
+        return fut._report
+
+    def run_quantiles(self, data: "DistributedArray", qs: Sequence[float],
+                      plan: Optional[SelectionPlan] = None,
+                      **overrides) -> list[SelectionReport]:
+        """Answer exact quantiles NOW via one batched launch.
+
+        Returns one :class:`SelectionReport` per quantile, in input order
+        (the historical per-quantile shape); the reports share the batched
+        run's simulated metrics, so summing across them would
+        double-count.
+        """
+        self._check_data(data)
+        plan = self._plan_for(plan, overrides)
+        ks = [quantile_rank(q, data.n) for q in qs]
+        if not ks:
+            return []
+        multi = self.run_multi_select(data, ks, plan)
+        return [
+            per_rank_view(multi, k, value, cached=multi.cached)
+            for k, value in zip(ks, multi.values)
+        ]
+
+    # ------------------------------------------------------ context manager
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Flush pending work on a clean exit. On an exception the queue is
+        # left intact: futures stay pending and can still be resolved by a
+        # later flush() or future.result().
+        if exc_type is None:
+            self.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(p={self.machine.n_procs}, pending={self.pending_count}, "
+            f"cached={self.cache_size}, launches={self.stats.launches}, "
+            f"hits={self.stats.cache_hits})"
+        )

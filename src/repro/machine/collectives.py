@@ -33,7 +33,6 @@ program into a :class:`~repro.errors.RankMismatchError` instead of a hang.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, Sequence
 
 import numpy as np

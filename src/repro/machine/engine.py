@@ -122,6 +122,9 @@ class SPMDRuntime:
         self.cost_model = cost_model if cost_model is not None else CM5
         self.trace = trace
         self.join_timeout = join_timeout
+        #: SPMD launches executed so far (the serving layer's cost unit:
+        #: Session coalescing and caching are asserted against this).
+        self.launch_count = 0
 
     def run(
         self,
@@ -142,6 +145,7 @@ class SPMDRuntime:
                 f"got {len(rank_args)}"
             )
         kwargs = kwargs or {}
+        self.launch_count += 1
         tracer = Tracer() if self.trace else NullTracer()
         engine = CollectiveEngine(p, self.cost_model, tracer)
         board = MessageBoard(p)

@@ -11,7 +11,6 @@ matters for costing — but two algorithms need structural helpers:
 
 from __future__ import annotations
 
-import math
 from typing import Iterator
 
 from ..errors import ConfigurationError

@@ -163,7 +163,6 @@ class TestGlobalExchangePairing:
     def test_biggest_source_feeds_biggest_sink(self):
         # diff = [+30, -20, -10, 0] after targets; the 30-surplus source
         # must send 20 to the neediest sink first.
-        p = 4
         shards = [np.full(40, 0.0), np.full(0, 0.0), np.full(0, 0.0), np.full(0, 0.0)]
         # targets = 10 each; diffs = [30, -10, -10, -10] — tie: ranks order.
         res = run_balancer("global_exchange", shards)

@@ -1,10 +1,14 @@
 """The benchmark harness itself: grid runner, figures registry, renderer."""
 
-import numpy as np
 import pytest
 
 from repro.bench.figures import EXPERIMENTS, SCALES, run_experiment
-from repro.bench.harness import KILO, PointResult, run_point, run_series
+from repro.bench.harness import (
+    PointResult,
+    run_point,
+    run_series,
+    run_session_point,
+)
 from repro.bench.report import (
     fmt_time,
     render_bar_rows,
@@ -25,6 +29,23 @@ class TestRunPoint:
         assert pt.simulated_time > 0 and pt.wall_time > 0
         assert pt.iterations > 0
         assert pt.balance_time == 0.0  # no balancer
+
+    def test_session_point_metrics_and_labels(self):
+        pt = run_session_point("randomized", 4096, 4, q=3,
+                               balancer="global_exchange")
+        assert pt.flush_launches == 1 and pt.replay_launches == 0
+        assert pt.replay_hits == 3
+        assert 0 < pt.flush_simulated < pt.independent_simulated
+        assert pt.flush_balance > 0 and pt.independent_balance > 0
+        flush_row, indep_row = pt.as_points()
+        # Exported rows carry the real configuration and metrics, not
+        # placeholder zeros.
+        assert flush_row.balancer == "global_exchange"
+        assert indep_row.balancer == "global_exchange"
+        assert flush_row.wall_time > 0 and flush_row.iterations > 0
+        assert indep_row.wall_time > 0 and indep_row.iterations > 0
+        assert "session-flush(q=3)" in flush_row.algorithm
+        assert "3x select" in indep_row.algorithm
 
     def test_balancer_reports_balance_time(self):
         pt = run_point("randomized", 4096, 4, distribution="sorted",
@@ -70,6 +91,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
             "ablation-delta", "ablation-partition", "multiselect",
+            "session",
         }
 
     def test_scales(self):

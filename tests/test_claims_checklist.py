@@ -1,9 +1,7 @@
 """The executable claims checklist machinery (the full checklist itself runs
 via ``python -m repro.bench claims``; benches pin the individual claims)."""
 
-import pytest
-
-from repro.bench.claims import CLAIMS, Claim
+from repro.bench.claims import CLAIMS
 
 
 class TestRegistry:

@@ -1,13 +1,12 @@
 """Collectives: semantic correctness + the paper's exact cost formulas."""
 
-import math
 import operator
 
 import numpy as np
 import pytest
 
 from repro.errors import RankMismatchError, WorkerError
-from repro.machine import CostModel, payload_words, run_spmd, zero_cost_model
+from repro.machine import CostModel, payload_words, run_spmd
 from repro.machine.cost_model import ComputeCosts
 
 # A cost model with easy numbers for hand-checking formulas.

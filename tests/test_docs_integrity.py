@@ -5,8 +5,6 @@ import importlib
 import pkgutil
 from pathlib import Path
 
-import pytest
-
 import repro
 
 ROOT = Path(__file__).parent.parent

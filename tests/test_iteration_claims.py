@@ -2,7 +2,6 @@
 (iteration counts and work evidence, not wall or simulated time)."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.machine import zero_cost_model

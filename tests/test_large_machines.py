@@ -2,7 +2,6 @@
 awkward processor counts."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.machine import run_spmd

@@ -6,7 +6,6 @@ import pytest
 from repro.bench.harness import KILO, run_point
 from repro.bench.model import Prediction, predict
 from repro.errors import ConfigurationError
-from repro.machine.cost_model import CM5
 
 GRID = [
     (64 * KILO, 4),

@@ -13,8 +13,6 @@ timing — a refactor that quietly added or dropped a collective per
 iteration would fail here.
 """
 
-import numpy as np
-import pytest
 
 import repro
 from repro.selection import ALGORITHMS, SelectionConfig

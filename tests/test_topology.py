@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.machine.topology import (
-    hypercube_dimensions,
     hypercube_partner,
     hypercube_rounds,
     is_power_of_two,
