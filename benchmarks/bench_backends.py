@@ -1,0 +1,91 @@
+"""Execution backends: differential identity + multi-core speedup.
+
+Claims pinned here (the backends PR's acceptance bar):
+
+1. The same launch (same data, same seed) returns the SAME selection
+   value and the SAME simulated seconds — bit-for-bit — on the
+   ``serial``, ``threaded`` and ``process`` backends: the algorithms are
+   machine-independent and every backend charges through the shared
+   collective engine.
+2. ``serial`` vs ``threaded`` agree on the whole per-rank evidence:
+   final clocks AND the per-category time breakdowns of every rank.
+3. On a multi-core host, the ``process`` backend beats ``threaded`` on
+   wall clock for large ``n`` with the paper-faithful (GIL-churning)
+   sequential kernels — true parallelism past the GIL. The assertion is
+   skipped on single-core machines, where no backend can possibly win
+   (the identity claims still run).
+
+Full grid: ``python -m repro.bench backend --scale paper``.
+"""
+
+import os
+
+import pytest
+
+import repro
+from repro.bench.harness import KILO, run_backend_point
+
+N_IDENTITY = 128 * KILO
+N_SPEEDUP = 2048 * KILO  # the acceptance bar: n >= 2M
+P = 4
+
+MULTICORE = (os.cpu_count() or 1) >= 2
+
+
+@pytest.mark.parametrize("algorithm", ["fast_randomized", "randomized"])
+def test_values_and_simulated_times_identical(benchmark, algorithm):
+    pt = benchmark.pedantic(
+        run_backend_point, args=(algorithm, N_IDENTITY, P),
+        kwargs=dict(trials=1), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["wall_times_s"] = dict(pt.wall_times)
+    benchmark.extra_info["simulated_s"] = pt.simulated_times["threaded"]
+    assert pt.values_agree, f"backends disagree on the answer: {pt.values}"
+    assert pt.simulated_times_agree, (
+        f"backends disagree on simulated time: {pt.simulated_times}"
+    )
+
+
+def test_serial_threaded_full_evidence_identical(benchmark):
+    """Beyond the headline value: per-rank clocks and breakdowns match."""
+
+    def run_both():
+        out = {}
+        for be in ("serial", "threaded"):
+            machine = repro.Machine(n_procs=P, backend=be)
+            data = machine.generate(N_IDENTITY, distribution="zipf", seed=7)
+            out[be] = data.select(N_IDENTITY // 3, seed=3).result
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    a, b = results["serial"], results["threaded"]
+    assert a.values == b.values
+    assert a.clocks == b.clocks
+    assert a.breakdowns == b.breakdowns
+
+
+@pytest.mark.skipif(
+    not MULTICORE,
+    reason="single-core host: no backend can show parallel speedup",
+)
+def test_process_speedup_over_threaded_large_n(benchmark):
+    """n >= 2M with the paper's sequential kernels (``impl_override=None``,
+    heavy Python/NumPy dispatch per iteration): forked ranks escape the
+    GIL, threads cannot."""
+    pt = benchmark.pedantic(
+        run_backend_point, args=("median_of_medians", N_SPEEDUP, P),
+        kwargs=dict(
+            trials=2, impl_override=None, backends=("threaded", "process")
+        ),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["threaded_wall_s"] = pt.wall_times["threaded"]
+    benchmark.extra_info["process_wall_s"] = pt.wall_times["process"]
+    benchmark.extra_info["speedup"] = pt.speedup()
+    assert pt.values_agree
+    assert pt.simulated_times_agree
+    assert pt.speedup() > 1.0, (
+        f"process backend must beat threaded on a multi-core host, got "
+        f"{pt.speedup():.2f}x (threaded={pt.wall_times['threaded']:.3f}s, "
+        f"process={pt.wall_times['process']:.3f}s)"
+    )

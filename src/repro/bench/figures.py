@@ -23,6 +23,7 @@ from ..selection.fast_randomized import FastRandomizedParams
 from .harness import (
     KILO,
     PointResult,
+    run_backend_point,
     run_multiselect_point,
     run_point,
     run_series,
@@ -375,6 +376,47 @@ def session(scale: str = "small") -> FigureResult:
                         text, points)
 
 
+def backend(scale: str = "small") -> FigureResult:
+    """Execution backends compared at fixed simulated cost: the same
+    launch (same data, same seed) on the ``serial``, ``threaded`` and
+    ``process`` backends. Values and simulated seconds must agree exactly
+    — the algorithms are machine-independent and every backend charges
+    the same collective costs — so the only thing that moves is the wall
+    clock of the simulation itself (``process`` escapes the GIL on
+    multi-core hosts; ``serial`` has no scheduling overhead at small p)."""
+    cfg = _scale(scale)
+    n = cfg["n_big"]
+    rows: list[str] = []
+    points: list[PointResult] = []
+    for algo in ("fast_randomized", "randomized"):
+        for p in cfg["bar_p_sweep"][:2]:
+            pt = run_backend_point(
+                algo, n, p, distribution="random",
+                trials=max(cfg["trials"], 1),
+            )
+            points.extend(pt.as_points())
+            agree = "ok" if (pt.values_agree and pt.simulated_times_agree) \
+                else "MISMATCH"
+            walls = "  ".join(
+                f"{be}={pt.wall_times[be] * 1e3:8.1f} ms" for be in pt.backends
+            )
+            rows.append(
+                f"  {algo:>16s} p={p:<3d} sim="
+                f"{pt.simulated_times['threaded'] * 1e3:8.2f} ms [{agree}]  "
+                f"{walls}  process-vs-threaded={pt.speedup():4.2f}x"
+            )
+    text = (
+        f"== Execution backends at fixed simulated cost, n={n // KILO}k, "
+        "random data ==\n"
+        "Same launch on serial / threaded / process: identical values and\n"
+        "simulated seconds (bit-for-bit), different wall clock. Wall times\n"
+        "are best-of-trials of the whole simulation.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("backend", "Execution backend comparison", text,
+                        points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -387,6 +429,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "ablation-partition": ablation_partition,
     "multiselect": multiselect,
     "session": session,
+    "backend": backend,
 }
 
 

@@ -27,8 +27,10 @@ from ..machine.cost_model import CM5, CostModel
 from ..selection.fast_randomized import FastRandomizedParams
 
 __all__ = [
+    "BackendPointResult",
     "PointResult",
     "SessionPointResult",
+    "run_backend_point",
     "run_point",
     "run_multiselect_point",
     "run_session_point",
@@ -223,6 +225,117 @@ def run_multiselect_point(
         _mk(f"{algorithm}/multi_select(q={q})", b_sims, b_bals, b_walls, b_iters),
         _mk(f"{algorithm}/{q}x select", r_sims, r_bals, r_walls, r_iters),
     )
+
+
+@dataclass
+class BackendPointResult:
+    """One launch measured on several execution backends.
+
+    The simulated cost of a fixed ``(algorithm, data, seed)`` launch is
+    backend-independent by construction (every backend charges through the
+    same collective engine); what differs is the *wall clock* of the
+    simulation itself. ``wall_times`` holds the best-of-``trials`` real
+    seconds per backend; the agreement properties are the differential
+    claims the ``backend`` experiment and ``bench_backends.py`` assert.
+    """
+
+    algorithm: str
+    distribution: str
+    n: int
+    p: int
+    backends: tuple[str, ...]
+    #: Best-of-trials wall seconds of the simulation, per backend.
+    wall_times: dict = field(default_factory=dict)
+    #: Simulated seconds per backend (claim: all equal, bit-for-bit).
+    simulated_times: dict = field(default_factory=dict)
+    #: Selection answer per backend (claim: all equal).
+    values: dict = field(default_factory=dict)
+    trials: int = 1
+
+    @property
+    def values_agree(self) -> bool:
+        vals = list(self.values.values())
+        return all(v == vals[0] for v in vals)
+
+    @property
+    def simulated_times_agree(self) -> bool:
+        """Bit-identical simulated seconds across backends."""
+        sims = list(self.simulated_times.values())
+        return all(s == sims[0] for s in sims)
+
+    def speedup(self, candidate: str = "process",
+                baseline: str = "threaded") -> float:
+        """Wall-clock ratio ``baseline / candidate`` (>1: candidate wins)."""
+        if candidate not in self.wall_times or baseline not in self.wall_times:
+            raise ConfigurationError(
+                f"speedup needs both {candidate!r} and {baseline!r} measured; "
+                f"have {sorted(self.wall_times)}"
+            )
+        if not self.wall_times[candidate]:
+            return float("inf")
+        return self.wall_times[baseline] / self.wall_times[candidate]
+
+    def as_points(self) -> list[PointResult]:
+        """One CSV-exportable row per backend."""
+        return [
+            PointResult(
+                algorithm=f"{self.algorithm}@{be}",
+                balancer="none",
+                distribution=self.distribution,
+                n=self.n,
+                p=self.p,
+                simulated_time=self.simulated_times[be],
+                balance_time=0.0,
+                wall_time=self.wall_times[be],
+                iterations=0.0,
+                trials=self.trials,
+            )
+            for be in self.backends
+        ]
+
+
+def run_backend_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    distribution: str = "random",
+    backends: tuple[str, ...] = ("serial", "threaded", "process"),
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+    k: int | None = None,
+) -> BackendPointResult:
+    """Run ONE fixed launch on every backend and compare wall clocks.
+
+    Unlike :func:`run_point`, the seed is identical across trials: each
+    trial repeats the exact same launch, and the per-backend wall time is
+    the minimum over trials (the usual best-of-N benchmarking discipline),
+    while values and simulated times are asserted comparable.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    result = BackendPointResult(
+        algorithm=algorithm, distribution=distribution, n=n, p=p,
+        backends=tuple(backends), trials=trials,
+    )
+    target = k if k is not None else median_rank(n)
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer="none", seed=seed,
+        impl_override=impl_override,
+    )
+    for be in backends:
+        machine = Machine(n_procs=p, cost_model=cost_model or CM5, backend=be)
+        one_shot = Session(machine, cache=False)
+        data = machine.generate(n, distribution=distribution, seed=seed)
+        walls = []
+        for _ in range(trials):
+            rep = one_shot.run_select(data, target, plan)
+            walls.append(rep.wall_time)
+        result.wall_times[be] = min(walls)
+        result.simulated_times[be] = rep.simulated_time
+        result.values[be] = rep.value
+    return result
 
 
 @dataclass

@@ -71,6 +71,7 @@ def select(
     max_iterations: int | None = None,
     fast_params: FastRandomizedParams | None = None,
     impl_override: str | None = None,
+    backend: str | None = None,
 ) -> SelectionReport:
     """Find the key of global rank ``k`` (1-based) in ``data``.
 
@@ -104,6 +105,7 @@ def select(
         max_iterations=max_iterations,
         fast_params=fast_params,
         impl_override=impl_override,
+        backend=backend,
     )
     return _one_shot(data).run_select(data, k, plan)
 
@@ -119,6 +121,7 @@ def multi_select(
     max_iterations: int | None = None,
     fast_params: FastRandomizedParams | None = None,
     impl_override: str | None = None,
+    backend: str | None = None,
 ) -> MultiSelectionReport:
     """Find the keys of *every* global rank in ``ks`` in ONE SPMD launch.
 
@@ -159,6 +162,7 @@ def multi_select(
         max_iterations=max_iterations,
         fast_params=fast_params,
         impl_override=impl_override,
+        backend=backend,
     )
     return _one_shot(data).run_multi_select(data, ks, plan)
 

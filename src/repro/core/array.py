@@ -39,17 +39,24 @@ __all__ = ["Machine", "DistributedArray"]
 
 
 class Machine:
-    """A simulated coarse-grained machine: ``p`` processors + a cost model."""
+    """A simulated coarse-grained machine: ``p`` processors + a cost model.
+
+    ``backend`` picks the execution vehicle for launches (``"serial"``,
+    ``"threaded"`` or ``"process"``; ``None`` = ``$REPRO_BACKEND`` or
+    threaded). Selection values, RNG streams and simulated times are
+    identical on every backend — only wall-clock differs.
+    """
 
     def __init__(
         self,
         n_procs: int,
         cost_model: CostModel | None = None,
         trace: bool = False,
+        backend=None,
     ):
         self.runtime = SPMDRuntime(
             n_procs, cost_model=cost_model if cost_model is not None else CM5,
-            trace=trace,
+            trace=trace, backend=backend,
         )
         self._default_session: Optional["Session"] = None
 
@@ -60,6 +67,11 @@ class Machine:
     @property
     def cost_model(self) -> CostModel:
         return self.runtime.cost_model
+
+    @property
+    def backend_name(self) -> str:
+        """Name of this machine's default execution backend."""
+        return self.runtime.backend.name
 
     @property
     def launch_count(self) -> int:
@@ -118,9 +130,17 @@ class Machine:
             self, generate_shards(n, self.n_procs, distribution, seed)
         )
 
-    def run(self, fn, rank_args=None, args=(), kwargs=None) -> SPMDResult:
-        """Escape hatch: run a raw SPMD program on this machine."""
-        return self.runtime.run(fn, rank_args=rank_args, args=args, kwargs=kwargs)
+    def run(self, fn, rank_args=None, args=(), kwargs=None,
+            backend=None) -> SPMDResult:
+        """Escape hatch: run a raw SPMD program on this machine.
+
+        ``backend`` overrides the machine's execution backend for this
+        launch only (a :class:`~repro.core.plan.SelectionPlan` carrying a
+        backend rides this parameter).
+        """
+        return self.runtime.run(
+            fn, rank_args=rank_args, args=args, kwargs=kwargs, backend=backend
+        )
 
 
 @dataclass

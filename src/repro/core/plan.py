@@ -28,6 +28,7 @@ from typing import Optional, get_args
 from ..balance.base import Balancer, get_balancer
 from ..errors import ConfigurationError
 from ..kernels.select import SelectMethod
+from ..machine.backends import available_backends
 from ..selection import ALGORITHMS, SelectionConfig
 from ..selection.fast_randomized import FastRandomizedParams
 
@@ -83,6 +84,12 @@ class SelectionPlan:
         Sequential kernel that *executes* local selections while simulated
         cost still follows ``sequential_method`` (the bench harness sets
         ``"introselect"`` on huge grids).
+    backend:
+        Execution backend for launches this plan drives (``"serial"``,
+        ``"threaded"`` or ``"process"``); ``None`` defers to the machine's
+        backend (itself defaulting to ``$REPRO_BACKEND`` or threaded).
+        Values, RNG streams and simulated times are backend-independent;
+        only wall-clock changes.
     """
 
     algorithm: str = "fast_randomized"
@@ -93,6 +100,7 @@ class SelectionPlan:
     max_iterations: Optional[int] = None
     fast_params: Optional[FastRandomizedParams] = None
     impl_override: Optional[str] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -117,6 +125,11 @@ class SelectionPlan:
                 )
         _check_method(self.sequential_method, "sequential method")
         _check_method(self.impl_override, "sequential method (impl_override)")
+        if self.backend is not None and self.backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {sorted(available_backends())}"
+            )
         if self.fast_params is not None and not isinstance(
             self.fast_params, FastRandomizedParams
         ):
@@ -184,6 +197,7 @@ class SelectionPlan:
             self.max_iterations,
             fp,
             self.impl_override,
+            self.backend,
         )
 
     def replace(self, **changes) -> "SelectionPlan":
@@ -198,7 +212,7 @@ class SelectionPlan:
         parts = [f"algorithm={self.algorithm}", f"balancer={bal}",
                  f"seed={self.seed}"]
         for name in ("sequential_method", "endgame_threshold",
-                     "max_iterations", "impl_override"):
+                     "max_iterations", "impl_override", "backend"):
             v = getattr(self, name)
             if v is not None:
                 parts.append(f"{name}={v}")

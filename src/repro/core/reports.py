@@ -44,6 +44,10 @@ class _RunReport:
     #: True when this report was served from a Session's result cache (the
     #: metrics describe the originating launch; no new launch happened).
     cached: bool = False
+    #: Name of the execution backend that ran the launch (``"serial"``,
+    #: ``"threaded"`` or ``"process"``; cached reports carry the backend of
+    #: the originating launch).
+    backend: str = ""
 
     @property
     def balance_time(self) -> float:

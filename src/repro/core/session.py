@@ -86,6 +86,7 @@ def execute_select(
         program,
         rank_args=[(s,) for s in data.shards],
         args=(k, cfg),
+        backend=plan.backend,
     )
     values = [v[0] for v in result.values]
     stats: SelectionStats = result.values[0][1]
@@ -103,6 +104,7 @@ def execute_select(
         breakdown=result.breakdown,
         stats=stats,
         result=result,
+        backend=result.backend,
     )
 
 
@@ -132,6 +134,7 @@ def execute_multi_select(
             balancer=balancer_name, simulated_time=0.0, wall_time=0.0,
             breakdown=TimeBreakdown(),
             stats=MultiSelectionStats(algorithm=plan.algorithm, n=n, p=data.p),
+            backend=plan.backend or data.machine.backend_name,
         )
     unique_ks = sorted(set(ks))
 
@@ -151,6 +154,7 @@ def execute_multi_select(
         program,
         rank_args=[(s,) for s in data.shards],
         args=(unique_ks, cfg),
+        backend=plan.backend,
     )
     all_values = [v[0] for v in result.values]
     stats: MultiSelectionStats = result.values[0][1]
@@ -172,6 +176,7 @@ def execute_multi_select(
         breakdown=result.breakdown,
         stats=stats,
         result=result,
+        backend=result.backend,
     )
 
 
@@ -206,6 +211,7 @@ def per_rank_view(metrics, k: int, value, cached: bool = False) -> SelectionRepo
         ),
         result=metrics.result,
         cached=cached,
+        backend=metrics.backend,
     )
 
 
@@ -236,6 +242,7 @@ class _LaunchMetrics:
     breakdown: TimeBreakdown
     stats: MultiSelectionStats
     result: object
+    backend: str = ""
 
     @classmethod
     def from_multi(cls, multi: MultiSelectionReport) -> "_LaunchMetrics":
@@ -243,7 +250,7 @@ class _LaunchMetrics:
             n=multi.n, p=multi.p, algorithm=multi.algorithm,
             balancer=multi.balancer, simulated_time=multi.simulated_time,
             wall_time=multi.wall_time, breakdown=multi.breakdown,
-            stats=multi.stats, result=multi.result,
+            stats=multi.stats, result=multi.result, backend=multi.backend,
         )
 
 
@@ -532,8 +539,8 @@ class Session:
             raise first_error
         return pending
 
-    def _serve_group(self, fp: str, plan_key: tuple,
-                     futs: list[_Future]) -> None:
+    def _serve_group(self, fp: str, plan_key: tuple, futs: list[_Future],
+                     count_coalesced: bool = True) -> None:
         data, plan = futs[0].data, futs[0].plan
         needed = sorted({k for fut in futs for k in fut.ranks})
         entries: dict[int, _CacheEntry] = {}
@@ -558,7 +565,8 @@ class Session:
                 entries[k] = entry
                 self._cache_put(("multi", fp, plan_key, k), entry)
         for fut in futs:
-            self.stats.coalesced_queries += 1
+            if count_coalesced:
+                self.stats.coalesced_queries += 1
             if isinstance(fut, SelectionFuture):
                 entry = entries[fut.k]
                 fut._report = per_rank_view(
@@ -595,6 +603,7 @@ class Session:
             stats=metrics.stats,
             result=metrics.result,
             cached=all_cached,
+            backend=metrics.backend,
         )
 
     # ---------------------------------------------------- immediate queries
@@ -651,8 +660,9 @@ class Session:
         fut = MultiSelectionFuture(
             self, data, [self._check_rank(k, data.n) for k in ks], plan
         )
-        self._serve_group(data.fingerprint, plan.cache_key(), [fut])
-        self.stats.coalesced_queries -= 1  # not a coalesced deferred query
+        # Not a coalesced deferred query: keep it out of that counter.
+        self._serve_group(data.fingerprint, plan.cache_key(), [fut],
+                          count_coalesced=False)
         return fut._report
 
     def run_quantiles(self, data: "DistributedArray", qs: Sequence[float],

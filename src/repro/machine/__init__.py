@@ -1,15 +1,24 @@
 """The coarse-grained parallel machine substrate (paper Section 2).
 
-This subpackage is the simulated CM-5: an SPMD thread engine
-(:mod:`.engine`), the six communication primitives with two-level-model
-costing (:mod:`.collectives`, :mod:`.comm`), logical clocks with a
-compute/comm/balance breakdown (:mod:`.clock`), and the calibrated cost
-model itself (:mod:`.cost_model`).
+This subpackage is the simulated CM-5: an SPMD launcher (:mod:`.engine`)
+over pluggable execution backends (:mod:`.backends` — ``serial`` /
+``threaded`` / ``process``), the six communication primitives with
+two-level-model costing (:mod:`.collectives`, :mod:`.comm`), logical
+clocks with a compute/comm/balance breakdown (:mod:`.clock`), and the
+calibrated cost model itself (:mod:`.cost_model`).
 """
 
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    resolve_backend,
+)
 from .barrier import AbortableBarrier
 from .clock import Category, LogicalClock, TimeBreakdown
-from .collectives import CollectiveEngine, payload_words
+from .collectives import CollectiveEngine, SharedRendezvous, payload_words
 from .comm import Comm
 from .cost_model import (
     CM5,
@@ -32,10 +41,17 @@ from .trace import NullTracer, TraceEvent, Tracer
 
 __all__ = [
     "AbortableBarrier",
+    "BACKENDS",
+    "ExecutionBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
     "Category",
     "LogicalClock",
     "TimeBreakdown",
     "CollectiveEngine",
+    "SharedRendezvous",
     "payload_words",
     "Comm",
     "CM5",

@@ -1,0 +1,105 @@
+"""The ``threaded`` backend: one preemptive OS thread per rank.
+
+This is the historical runtime vehicle (coarse-grained machines have few,
+powerful processors — 2..128 in the paper — so threads are a faithful and
+cheap model); each rank blocks in real condition variables at collectives
+and mailboxes, and heavy local work is vectorised NumPy, which releases
+the GIL for large arrays, so ranks genuinely overlap where it matters.
+
+Failure semantics: the first rank to raise aborts the barrier and all
+mailboxes; sibling ranks unwind with ``WorkerAborted``; the caller receives
+a :class:`~repro.errors.WorkerError` chaining the original exception. No
+deadlocks, no leaked threads (joined with a timeout and asserted dead).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from ...errors import WorkerAborted, WorkerError
+from ..channels import MessageBoard
+from ..clock import LogicalClock
+from ..collectives import CollectiveEngine
+from ..comm import Comm
+from .base import (
+    ExecutionBackend,
+    Launch,
+    ProcContext,
+    SPMDResult,
+    raise_worker_failures,
+    run_single_rank,
+)
+
+__all__ = ["ThreadedBackend"]
+
+
+class ThreadedBackend(ExecutionBackend):
+    """One OS thread per rank, preemptively scheduled by the OS."""
+
+    name = "threaded"
+
+    def execute(self, launch: Launch) -> SPMDResult:
+        p = launch.n_procs
+        if p == 1:
+            return run_single_rank(launch, self.name)
+        engine = CollectiveEngine(p, launch.cost_model, launch.tracer)
+        board = MessageBoard(p)
+        clocks = [LogicalClock() for _ in range(p)]
+        results: list[Any] = [None] * p
+        errors: list[BaseException | None] = [None] * p
+
+        def worker(rank: int) -> None:
+            ctx = ProcContext(
+                rank=rank,
+                size=p,
+                comm=Comm(
+                    rank, p, engine, board, clocks[rank], launch.cost_model
+                ),
+                clock=clocks[rank],
+                model=launch.cost_model,
+            )
+            try:
+                results[rank] = launch.call(ctx)
+            except WorkerAborted as exc:
+                errors[rank] = exc
+            except BaseException as exc:  # noqa: BLE001 - must not leak threads
+                errors[rank] = exc
+                engine.abort()
+                board.abort()
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=worker, args=(r,), name=f"repro-rank-{r}", daemon=True
+            )
+            for r in range(p)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=launch.join_timeout)
+        stuck = [t.name for t in threads if t.is_alive()]
+        if stuck:
+            engine.abort()
+            board.abort()
+            for t in threads:
+                t.join(timeout=5.0)
+            still = [t.name for t in threads if t.is_alive()]
+            if still:  # pragma: no cover - catastrophic, test-only path
+                raise WorkerError(
+                    0, RuntimeError(f"threads failed to unwind: {still}")
+                )
+        wall = time.perf_counter() - t0
+
+        raise_worker_failures(errors)
+        board.drain_check()
+        return SPMDResult(
+            values=results,
+            clocks=[c.now for c in clocks],
+            breakdowns=[c.breakdown() for c in clocks],
+            wall_time=wall,
+            tracer=launch.tracer,
+            backend=self.name,
+        )

@@ -71,13 +71,19 @@ class Mailbox:
 
 
 class MessageBoard:
-    """All mailboxes of one runtime; the send side of point-to-point comms."""
+    """All mailboxes of one runtime; the send side of point-to-point comms.
 
-    def __init__(self, n_ranks: int):
+    ``mailbox_factory`` lets an execution backend substitute its own
+    :class:`Mailbox` subclass (the serial backend's cooperative mailbox
+    yields the scheduler token instead of blocking the thread).
+    """
+
+    def __init__(self, n_ranks: int, mailbox_factory=None):
         if n_ranks < 1:
             raise ConfigurationError(f"need >= 1 rank, got {n_ranks}")
         self.n_ranks = n_ranks
-        self._mailboxes = [Mailbox(r) for r in range(n_ranks)]
+        factory = mailbox_factory if mailbox_factory is not None else Mailbox
+        self._mailboxes = [factory(r) for r in range(n_ranks)]
 
     def abort(self) -> None:
         for mb in self._mailboxes:

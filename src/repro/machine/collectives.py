@@ -25,15 +25,24 @@ algorithms in the paper are bulk-synchronous, and the analysis charges each
 iteration at the pace of the slowest processor (``n_max^(j)`` terms).
 
 Thread-safety: one :class:`CollectiveEngine` serves all ranks of a runtime;
-the two-barrier deposit/read protocol makes each operation race-free, and the
-strict SPMD discipline (all ranks issue the same sequence of collectives) is
-validated at runtime with an op-name check that turns a desynchronised
-program into a :class:`~repro.errors.RankMismatchError` instead of a hang.
+the rendezvous protocol makes each operation race-free, and the strict SPMD
+discipline (all ranks issue the same sequence of collectives) is validated
+at runtime with an op-name check that turns a desynchronised program into a
+:class:`~repro.errors.RankMismatchError` instead of a hang.
+
+The *rendezvous* — how per-rank deposits physically meet — is pluggable so
+every execution backend shares the cost/semantics logic above it:
+
+* :class:`SharedRendezvous` (default) — shared slots + an abortable
+  barrier; used by the ``threaded`` backend, and by the ``serial`` backend
+  with a cooperative barrier.
+* the ``process`` backend supplies a message-passing rendezvous over
+  multiprocessing queues (:mod:`repro.machine.backends.process`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -43,7 +52,12 @@ from .clock import Category, LogicalClock
 from .cost_model import CostModel
 from .trace import NullTracer, TraceEvent
 
-__all__ = ["CollectiveEngine", "payload_words"]
+__all__ = [
+    "CollectiveEngine",
+    "Rendezvous",
+    "SharedRendezvous",
+    "payload_words",
+]
 
 
 def payload_words(obj: Any) -> float:
@@ -68,20 +82,83 @@ def payload_words(obj: Any) -> float:
     return 1.0
 
 
-class CollectiveEngine:
-    """Shared rendezvous state for one SPMD runtime."""
+class Rendezvous(Protocol):
+    """How per-rank collective deposits physically meet.
 
-    def __init__(self, n_ranks: int, model: CostModel, tracer=None):
-        self.n_ranks = n_ranks
-        self.model = model
-        self.tracer = tracer if tracer is not None else NullTracer()
-        self.barrier = AbortableBarrier(n_ranks)
+    ``exchange`` is called by every rank with its deposit and must return
+    the same ``(ops, values, tmax)`` triple on all of them: the op names
+    and deposited values indexed by rank, plus the maximum clock across
+    ranks. ``abort`` must permanently wake every rank currently (or later)
+    blocked inside ``exchange`` with
+    :class:`~repro.errors.WorkerAborted`.
+    """
+
+    def exchange(
+        self, rank: int, op: str, value: Any, clock_now: float
+    ) -> tuple[list[str], list[Any], float]: ...  # pragma: no cover
+
+    def abort(self) -> None: ...  # pragma: no cover
+
+
+class SharedRendezvous:
+    """Deposit slots + two barrier waits: the shared-memory rendezvous.
+
+    Works for any vehicle whose ranks share the interpreter (the
+    ``threaded`` and ``serial`` backends); the barrier is injectable so
+    cooperative schedulers can supply their own.
+    """
+
+    def __init__(self, n_ranks: int, barrier=None):
+        self.barrier = barrier if barrier is not None else AbortableBarrier(n_ranks)
         self._slots: list[Any] = [None] * n_ranks
         self._clocks: list[float] = [0.0] * n_ranks
         self._ops: list[str] = [""] * n_ranks
-        self._scratch: Any = None
+
+    def exchange(
+        self, rank: int, op: str, value: Any, clock_now: float
+    ) -> tuple[list[str], list[Any], float]:
+        self._slots[rank] = value
+        self._clocks[rank] = clock_now
+        self._ops[rank] = op
+        self.barrier.wait()
+        ops = list(self._ops)
+        values = list(self._slots)
+        tmax = max(self._clocks)
+        # Second barrier: no rank may overwrite the slots for the *next*
+        # collective before every rank has read this one.
+        self.barrier.wait()
+        return ops, values, tmax
+
+    def abort(self) -> None:
+        self.barrier.abort()
+
+
+class CollectiveEngine:
+    """The six primitives' cost/semantics logic for one SPMD runtime.
+
+    All execution backends share this class; only the injected
+    :class:`Rendezvous` differs, which is why simulated times are
+    bit-identical across backends.
+    """
+
+    def __init__(
+        self, n_ranks: int, model: CostModel, tracer=None, rendezvous=None
+    ):
+        self.n_ranks = n_ranks
+        self.model = model
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.rendezvous: Rendezvous = (
+            rendezvous if rendezvous is not None else SharedRendezvous(n_ranks)
+        )
+        #: Barrier of the shared rendezvous (None for message-passing ones);
+        #: kept as an attribute for the runtime's abort path and tests.
+        self.barrier = getattr(self.rendezvous, "barrier", None)
 
     # ------------------------------------------------------------------ core
+
+    def abort(self) -> None:
+        """Permanently wake every rank blocked in a collective."""
+        self.rendezvous.abort()
 
     def _rendezvous(
         self,
@@ -91,20 +168,13 @@ class CollectiveEngine:
         clock: LogicalClock,
     ) -> tuple[list[Any], float]:
         """Deposit ``value``; return (all values, max clock across ranks)."""
-        self._slots[rank] = value
-        self._clocks[rank] = clock.now
-        self._ops[rank] = op
-        self.barrier.wait()
-        if rank == 0:
-            distinct = set(self._ops)
-            if len(distinct) != 1:
-                self.barrier.abort()
-                raise RankMismatchError(
-                    f"ranks disagree on collective: {sorted(distinct)}"
-                )
-        values = list(self._slots)
-        tmax = max(self._clocks)
-        self.barrier.wait()
+        ops, values, tmax = self.rendezvous.exchange(rank, op, value, clock.now)
+        distinct = set(ops)
+        if len(distinct) != 1:
+            self.abort()
+            raise RankMismatchError(
+                f"ranks disagree on collective: {sorted(distinct)}"
+            )
         return values, tmax
 
     def _finish(
@@ -320,7 +390,7 @@ class CollectiveEngine:
                 continue
             back, their = values[pr]
             if back != r:
-                self.barrier.abort()
+                self.abort()
                 raise RankMismatchError(
                     f"pairwise_exchange: rank {r} paired with {pr} but rank "
                     f"{pr} paired with {back}"

@@ -1,100 +1,39 @@
 """The SPMD runtime: run one function on ``p`` simulated processors.
 
-A *program* is any callable ``fn(ctx, *args) -> value``. The runtime launches
-one OS thread per rank (coarse-grained machines have few, powerful
-processors — 2..128 in the paper — so threads are a faithful and cheap
-vehicle); each thread receives a :class:`ProcContext` carrying its rank, its
-:class:`~repro.machine.comm.Comm` endpoint, its logical clock and the cost
-model. Heavy local work is vectorised NumPy, which releases the GIL for
-large arrays, so ranks genuinely overlap where it matters.
+A *program* is any callable ``fn(ctx, *args) -> value``. The runtime
+validates the launch, counts it, and hands it to an **execution backend**
+(:mod:`repro.machine.backends`): ``serial`` (deterministic cooperative
+round-robin — CI and debugging), ``threaded`` (one preemptive OS thread
+per rank — the historical simulator) or ``process`` (one forked process
+per rank with shared-memory shards — true multi-core past the GIL). Every
+backend drives the same :class:`ProcContext`/collectives contract and
+charges the same simulated costs, so values, RNG streams and simulated
+times are bit-identical across backends; only wall-clock differs.
 
-Failure semantics: the first rank to raise aborts the barrier and all
-mailboxes; sibling ranks unwind with ``WorkerAborted``; the caller receives a
-:class:`~repro.errors.WorkerError` chaining the original exception. No
-deadlocks, no leaked threads (joined with a timeout and asserted dead).
+The default backend is ``threaded``, overridable per process with the
+``REPRO_BACKEND`` environment variable, per runtime with
+``SPMDRuntime(backend=...)`` / ``Machine(backend=...)``, and per launch
+with ``run(..., backend=...)`` (which is how a
+:class:`~repro.core.plan.SelectionPlan` carries its backend through the
+serving layer).
+
+Failure semantics (all backends): the first rank to raise aborts the
+rendezvous and all mailboxes; sibling ranks unwind with ``WorkerAborted``;
+the caller receives a :class:`~repro.errors.WorkerError` chaining the
+original exception. No deadlocks, no leaked threads or processes.
 """
 
 from __future__ import annotations
 
-import contextlib
-import threading
-import time
-from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from ..errors import ConfigurationError, WorkerAborted, WorkerError
-from .channels import MessageBoard
-from .clock import Category, LogicalClock, TimeBreakdown
-from .collectives import CollectiveEngine
-from .comm import Comm
+from ..errors import ConfigurationError
+from .backends import resolve_backend
+from .backends.base import Launch, ProcContext, SPMDResult
 from .cost_model import CM5, CostModel
 from .trace import NullTracer, Tracer
 
 __all__ = ["ProcContext", "SPMDResult", "SPMDRuntime", "run_spmd"]
-
-
-@dataclass
-class ProcContext:
-    """Everything one rank needs: identity, comm, clock, cost model."""
-
-    rank: int
-    size: int
-    comm: Comm
-    clock: LogicalClock
-    model: CostModel
-
-    def charge_compute(self, seconds: float) -> None:
-        self.clock.charge(Category.COMPUTE, seconds)
-
-    @contextlib.contextmanager
-    def balance_section(self):
-        """Attribute all time charged inside to the load-balancing bucket."""
-        self.clock.open_balance_section()
-        try:
-            yield self
-        finally:
-            self.clock.close_balance_section()
-
-
-@dataclass
-class SPMDResult:
-    """Outcome of one SPMD run.
-
-    Attributes
-    ----------
-    values:
-        Per-rank return values of the program.
-    clocks:
-        Final simulated time per rank.
-    breakdowns:
-        Per-rank :class:`TimeBreakdown`.
-    wall_time:
-        Real seconds the simulation took (not the simulated metric).
-    """
-
-    values: list[Any]
-    clocks: list[float]
-    breakdowns: list[TimeBreakdown]
-    wall_time: float
-    tracer: Tracer | NullTracer = field(default_factory=NullTracer)
-
-    @property
-    def simulated_time(self) -> float:
-        """The machine finishes when its slowest processor does."""
-        return max(self.clocks) if self.clocks else 0.0
-
-    @property
-    def breakdown(self) -> TimeBreakdown:
-        """Breakdown of the rank that determined the finish time."""
-        if not self.clocks:
-            return TimeBreakdown()
-        critical = max(range(len(self.clocks)), key=self.clocks.__getitem__)
-        return self.breakdowns[critical]
-
-    @property
-    def balance_time(self) -> float:
-        """Max across ranks of time attributed to load balancing."""
-        return max((b.balance for b in self.breakdowns), default=0.0)
 
 
 class SPMDRuntime:
@@ -109,6 +48,7 @@ class SPMDRuntime:
         cost_model: CostModel | None = None,
         trace: bool = False,
         join_timeout: float = 120.0,
+        backend=None,
     ):
         if not isinstance(n_procs, int) or n_procs < 1:
             raise ConfigurationError(
@@ -122,6 +62,9 @@ class SPMDRuntime:
         self.cost_model = cost_model if cost_model is not None else CM5
         self.trace = trace
         self.join_timeout = join_timeout
+        #: The runtime's default execution backend (name, instance or None
+        #: for the ``REPRO_BACKEND``/threaded default).
+        self.backend = resolve_backend(backend)
         #: SPMD launches executed so far (the serving layer's cost unit:
         #: Session coalescing and caching are asserted against this).
         self.launch_count = 0
@@ -132,11 +75,14 @@ class SPMDRuntime:
         rank_args: Sequence[Sequence[Any]] | None = None,
         args: Sequence[Any] = (),
         kwargs: dict | None = None,
+        backend=None,
     ) -> SPMDResult:
         """Execute ``fn(ctx, *rank_args[r], *args, **kwargs)`` on every rank.
 
         ``rank_args`` supplies per-rank positional arguments (e.g. each
         rank's data shard); ``args``/``kwargs`` are shared by all ranks.
+        ``backend`` overrides the runtime's execution backend for this
+        launch only.
         """
         p = self.n_procs
         if rank_args is not None and len(rank_args) != p:
@@ -144,81 +90,19 @@ class SPMDRuntime:
                 f"rank_args must have one entry per rank ({p}), "
                 f"got {len(rank_args)}"
             )
-        kwargs = kwargs or {}
+        chosen = self.backend if backend is None else resolve_backend(backend)
         self.launch_count += 1
-        tracer = Tracer() if self.trace else NullTracer()
-        engine = CollectiveEngine(p, self.cost_model, tracer)
-        board = MessageBoard(p)
-        clocks = [LogicalClock() for _ in range(p)]
-        results: list[Any] = [None] * p
-        errors: list[BaseException | None] = [None] * p
-
-        def worker(rank: int) -> None:
-            ctx = ProcContext(
-                rank=rank,
-                size=p,
-                comm=Comm(rank, p, engine, board, clocks[rank], self.cost_model),
-                clock=clocks[rank],
-                model=self.cost_model,
-            )
-            extra = tuple(rank_args[rank]) if rank_args is not None else ()
-            try:
-                results[rank] = fn(ctx, *extra, *args, **kwargs)
-            except WorkerAborted as exc:
-                errors[rank] = exc
-            except BaseException as exc:  # noqa: BLE001 - must not leak threads
-                errors[rank] = exc
-                engine.barrier.abort()
-                board.abort()
-
-        t0 = time.perf_counter()
-        if p == 1:
-            # Fast path: no threads needed for a single rank.
-            worker(0)
-        else:
-            threads = [
-                threading.Thread(
-                    target=worker, args=(r,), name=f"repro-rank-{r}", daemon=True
-                )
-                for r in range(p)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join(timeout=self.join_timeout)
-            stuck = [t.name for t in threads if t.is_alive()]
-            if stuck:
-                engine.barrier.abort()
-                board.abort()
-                for t in threads:
-                    t.join(timeout=5.0)
-                still = [t.name for t in threads if t.is_alive()]
-                if still:  # pragma: no cover - catastrophic, test-only path
-                    raise WorkerError(
-                        0, RuntimeError(f"threads failed to unwind: {still}")
-                    )
-        wall = time.perf_counter() - t0
-
-        real_failures = [
-            (r, e)
-            for r, e in enumerate(errors)
-            if e is not None and not isinstance(e, WorkerAborted)
-        ]
-        if real_failures:
-            rank, cause = real_failures[0]
-            raise WorkerError(rank, cause) from cause
-        aborted = [r for r, e in enumerate(errors) if e is not None]
-        if aborted:  # pragma: no cover - abort without a root cause
-            raise WorkerError(aborted[0], errors[aborted[0]])
-
-        board.drain_check()
-        return SPMDResult(
-            values=results,
-            clocks=[c.now for c in clocks],
-            breakdowns=[c.breakdown() for c in clocks],
-            wall_time=wall,
-            tracer=tracer,
+        launch = Launch(
+            fn=fn,
+            n_procs=p,
+            cost_model=self.cost_model,
+            rank_args=rank_args,
+            args=tuple(args),
+            kwargs=kwargs or {},
+            tracer=Tracer() if self.trace else NullTracer(),
+            join_timeout=self.join_timeout,
         )
+        return chosen.execute(launch)
 
 
 def run_spmd(
@@ -229,8 +113,9 @@ def run_spmd(
     trace: bool = False,
     args: Sequence[Any] = (),
     kwargs: dict | None = None,
+    backend=None,
 ) -> SPMDResult:
     """One-shot convenience wrapper around :class:`SPMDRuntime`."""
-    return SPMDRuntime(n_procs, cost_model=cost_model, trace=trace).run(
-        fn, rank_args=rank_args, args=args, kwargs=kwargs
-    )
+    return SPMDRuntime(
+        n_procs, cost_model=cost_model, trace=trace, backend=backend
+    ).run(fn, rank_args=rank_args, args=args, kwargs=kwargs)

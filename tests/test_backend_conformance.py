@@ -1,0 +1,147 @@
+"""Cross-backend differential suite: the paper's algorithms are
+machine-independent, so every selection variant must produce identical
+values, RNG streams AND identical simulated-time evidence whichever
+execution backend drives the ranks.
+
+``serial`` vs ``threaded`` are held to the full bar (bit-identical values,
+clocks, per-category breakdowns, iteration/pivot streams) across every
+algorithm and a spread of data distributions, for both single-rank
+``select`` and batched ``multi_select``. The ``process`` backend — ranks
+in separate forked processes — is held to the same bar on a sub-grid
+(forks are expensive; the mechanism, not the grid, is what differs).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.selection import ALGORITHMS
+
+P = 4
+N = 1500
+DISTRIBUTIONS = ["random", "sorted", "few_distinct", "skewed_shards"]
+
+
+def _run_select(backend, algorithm, distribution, n=N, seed=2):
+    machine = repro.Machine(n_procs=P, backend=backend)
+    data = machine.generate(n, distribution=distribution, seed=seed)
+    return data.select(max(1, n // 3), algorithm=algorithm, seed=seed)
+
+
+def _run_multi(backend, algorithm, distribution, n=N, seed=2):
+    machine = repro.Machine(n_procs=P, backend=backend)
+    data = machine.generate(n, distribution=distribution, seed=seed)
+    ks = [1, n // 4, n // 2, n // 2, (3 * n) // 4, n]
+    return data.multi_select(ks, algorithm=algorithm, seed=seed)
+
+
+def _assert_same_launch_evidence(a, b):
+    """Full bit-identity of two reports' launch evidence."""
+    assert a.simulated_time == b.simulated_time
+    assert a.breakdown == b.breakdown
+    assert a.result.clocks == b.result.clocks
+    assert a.result.breakdowns == b.result.breakdowns
+    assert a.stats.n_iterations == b.stats.n_iterations
+    assert [it.pivot for it in a.stats.iterations] == [
+        it.pivot for it in b.stats.iterations
+    ], "RNG/pivot streams diverged across backends"
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+class TestSerialVsThreaded:
+    def test_select_bit_identical(self, algorithm, distribution):
+        serial = _run_select("serial", algorithm, distribution)
+        threaded = _run_select("threaded", algorithm, distribution)
+        assert serial.backend == "serial"
+        assert threaded.backend == "threaded"
+        assert serial.value == threaded.value
+        _assert_same_launch_evidence(serial, threaded)
+
+    def test_multi_select_bit_identical(self, algorithm, distribution):
+        serial = _run_multi("serial", algorithm, distribution)
+        threaded = _run_multi("threaded", algorithm, distribution)
+        assert serial.values == threaded.values
+        assert serial.ks == threaded.ks
+        assert serial.simulated_time == threaded.simulated_time
+        assert serial.breakdown == threaded.breakdown
+        assert serial.result.clocks == threaded.result.clocks
+        assert serial.result.breakdowns == threaded.result.breakdowns
+
+
+@pytest.mark.parametrize("distribution", ["random", "few_distinct"])
+@pytest.mark.parametrize(
+    "algorithm", ["fast_randomized", "median_of_medians"]
+)
+class TestProcessConformance:
+    """Forked ranks must match the in-process backends bit-for-bit."""
+
+    def test_select_matches_threaded(self, algorithm, distribution):
+        proc = _run_select("process", algorithm, distribution)
+        threaded = _run_select("threaded", algorithm, distribution)
+        assert proc.backend == "process"
+        assert proc.value == threaded.value
+        _assert_same_launch_evidence(proc, threaded)
+
+    def test_multi_select_matches_threaded(self, algorithm, distribution):
+        proc = _run_multi("process", algorithm, distribution)
+        threaded = _run_multi("threaded", algorithm, distribution)
+        assert proc.values == threaded.values
+        assert proc.simulated_time == threaded.simulated_time
+        assert proc.breakdown == threaded.breakdown
+        assert proc.result.clocks == threaded.result.clocks
+
+
+class TestOracleAcrossBackends:
+    """Every backend's answers check out against a host-side sort."""
+
+    @pytest.mark.parametrize("backend", ["serial", "threaded", "process"])
+    def test_quantiles_match_sorted_oracle(self, backend):
+        machine = repro.Machine(n_procs=P, backend=backend)
+        data = machine.generate(N, distribution="gaussian", seed=5)
+        oracle = np.sort(data.gather())
+        reports = data.quantiles([0.1, 0.5, 0.9], seed=5)
+        for q, rep in zip([0.1, 0.5, 0.9], reports):
+            assert rep.value == oracle[max(1, int(np.ceil(q * N))) - 1]
+            assert rep.backend == backend
+
+    @pytest.mark.parametrize("backend", ["serial", "threaded", "process"])
+    def test_single_rank_machine(self, backend):
+        # p == 1 takes the shared inline fast path on every backend.
+        machine = repro.Machine(n_procs=1, backend=backend)
+        data = machine.distribute(np.array([5.0, 1.0, 4.0, 2.0, 3.0]))
+        rep = data.select(2)
+        assert rep.value == 2.0
+        assert rep.backend == backend
+
+
+class TestSessionAcrossBackends:
+    def test_coalesced_flush_identical_serial_threaded(self):
+        answers = {}
+        for backend in ("serial", "threaded"):
+            machine = repro.Machine(n_procs=P, backend=backend)
+            data = machine.generate(N, distribution="zipf", seed=9)
+            with machine.session() as s:
+                futures = [s.select(data, k) for k in (1, N // 2, N)]
+            answers[backend] = [
+                (f.value, f.result().simulated_time) for f in futures
+            ]
+        assert answers["serial"] == answers["threaded"]
+
+    def test_cached_report_keeps_originating_backend(self):
+        machine = repro.Machine(n_procs=P, backend="threaded")
+        data = machine.generate(N, seed=0)
+        first = data.select(7, backend="serial")
+        again = data.select(7, backend="serial")
+        assert first.backend == "serial"
+        assert again.cached and again.backend == "serial"
+
+    def test_backend_is_part_of_the_cache_identity(self):
+        machine = repro.Machine(n_procs=P)
+        data = machine.generate(N, seed=0)
+        before = machine.launch_count
+        a = data.select(3, backend="serial")
+        b = data.select(3, backend="threaded")
+        assert machine.launch_count - before == 2
+        assert not b.cached
+        assert a.value == b.value

@@ -5,6 +5,7 @@ import pytest
 from repro.bench.figures import EXPERIMENTS, SCALES, run_experiment
 from repro.bench.harness import (
     PointResult,
+    run_backend_point,
     run_point,
     run_series,
     run_session_point,
@@ -80,6 +81,31 @@ class TestRunPoint:
         assert "randomized" in pt.label and "p=2" in pt.label
 
 
+class TestRunBackendPoint:
+    def test_fields_and_agreement(self):
+        pt = run_backend_point("randomized", 4096, 4, trials=2)
+        assert pt.backends == ("serial", "threaded", "process")
+        assert pt.values_agree and pt.simulated_times_agree
+        assert all(w > 0 for w in pt.wall_times.values())
+        assert pt.speedup("serial", "threaded") > 0
+        rows = pt.as_points()
+        assert [r.algorithm for r in rows] == [
+            "randomized@serial", "randomized@threaded", "randomized@process"
+        ]
+        assert len({r.simulated_time for r in rows}) == 1
+
+    def test_backend_subset_and_speedup_guard(self):
+        pt = run_backend_point(
+            "fast_randomized", 2048, 2, backends=("serial", "threaded")
+        )
+        with pytest.raises(ConfigurationError, match="speedup"):
+            pt.speedup("process", "threaded")
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ConfigurationError, match="trials"):
+            run_backend_point("randomized", 1024, 2, trials=0)
+
+
 class TestRunSeries:
     def test_sweeps_p(self):
         pts = run_series("randomized", 4096, [2, 4, 8])
@@ -91,7 +117,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
             "ablation-delta", "ablation-partition", "multiselect",
-            "session",
+            "session", "backend",
         }
 
     def test_scales(self):

@@ -1,0 +1,242 @@
+"""The execution-backend layer itself: registry + selection plumbing,
+the serial scheduler's cooperative guarantees, and the process backend's
+transport mechanics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import CommunicationError, ConfigurationError, WorkerError
+from repro.machine import (
+    available_backends,
+    get_backend,
+    resolve_backend,
+    run_spmd,
+)
+from repro.machine.backends import BACKEND_ENV_VAR, BACKENDS, ExecutionBackend
+from repro.machine.backends.process import (
+    UnpicklableWorkerFailure,
+    _SharedArray,
+)
+
+
+class TestRegistry:
+    def test_three_backends_registered(self):
+        assert available_backends() == ("process", "serial", "threaded")
+
+    def test_unknown_backend_lists_options(self):
+        with pytest.raises(ConfigurationError, match=r"available: \["):
+            get_backend("mpi")
+
+    def test_resolve_accepts_instance_and_none(self, monkeypatch):
+        assert resolve_backend(BACKENDS["serial"]) is BACKENDS["serial"]
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "threaded"
+        assert resolve_backend("process").name == "process"
+
+    def test_resolve_rejects_other_types(self):
+        with pytest.raises(ConfigurationError, match="ExecutionBackend"):
+            resolve_backend(42)
+
+    def test_every_backend_names_itself(self):
+        for name, backend in BACKENDS.items():
+            assert isinstance(backend, ExecutionBackend)
+            assert backend.name == name
+
+
+class TestEnvDefault:
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        assert repro.Machine(n_procs=2).backend_name == "serial"
+        assert run_spmd(lambda ctx: ctx.rank, 2).backend == "serial"
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        assert repro.Machine(n_procs=2, backend="threaded").backend_name == (
+            "threaded"
+        )
+
+    def test_bogus_env_value_is_a_clean_error(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cluster")
+        with pytest.raises(ConfigurationError, match="REPRO_BACKEND"):
+            repro.Machine(n_procs=2)
+
+    def test_empty_env_value_means_threaded(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert repro.Machine(n_procs=2).backend_name == "threaded"
+
+
+class TestSelectionPlumbing:
+    def test_machine_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            repro.Machine(n_procs=2, backend="gpu")
+
+    def test_plan_rejects_unknown_backend_listing_options(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"unknown backend 'gpu'; available: "
+                  r"\['process', 'serial', 'threaded'\]",
+        ):
+            repro.SelectionPlan(backend="gpu")
+
+    def test_plan_backend_flows_through_session_launch(self):
+        machine = repro.Machine(n_procs=3, backend="threaded")
+        data = machine.generate(900, seed=1)
+        plan = repro.SelectionPlan(backend="serial", seed=1)
+        with machine.session(plan) as s:
+            fut = s.select(data, 450)
+        assert fut.result().backend == "serial"
+
+    def test_per_launch_override_does_not_change_machine_default(self):
+        machine = repro.Machine(n_procs=2, backend="threaded")
+        res = machine.run(lambda ctx: ctx.rank, backend="serial")
+        assert res.backend == "serial"
+        assert machine.backend_name == "threaded"
+        assert machine.run(lambda ctx: ctx.rank).backend == "threaded"
+
+    def test_legacy_api_accepts_backend(self):
+        machine = repro.Machine(n_procs=2)
+        data = machine.generate(400, seed=0)
+        rep = repro.select(data, 200, backend="serial")
+        assert rep.backend == "serial"
+        multi = repro.multi_select(data, [1, 400], backend="serial")
+        assert multi.backend == "serial"
+
+
+class TestSerialScheduler:
+    def test_exactly_one_rank_runs_at_a_time(self):
+        lock = threading.Lock()
+        state = {"active": 0, "max_active": 0}
+
+        def prog(ctx):
+            for _ in range(3):
+                with lock:
+                    state["active"] += 1
+                    state["max_active"] = max(
+                        state["max_active"], state["active"]
+                    )
+                time.sleep(0.002)  # sleeping does NOT yield the token
+                with lock:
+                    state["active"] -= 1
+                ctx.comm.barrier()
+
+        run_spmd(prog, 4, backend="serial")
+        assert state["max_active"] == 1
+
+    def test_interleaving_is_deterministic(self):
+        def prog(ctx, log):
+            for i in range(3):
+                log.append((ctx.rank, i))
+                ctx.comm.barrier()
+            return None
+
+        logs = []
+        for _ in range(3):
+            log = []
+            run_spmd(prog, 4, rank_args=[(log,)] * 4, backend="serial")
+            logs.append(tuple(log))
+        assert len(set(logs)) == 1, "serial interleaving must be reproducible"
+
+    def test_deadlock_detected_instead_of_hanging(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.recv(1, tag="never-sent")
+            else:
+                ctx.comm.barrier()
+
+        t0 = time.perf_counter()
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 3, backend="serial")
+        assert time.perf_counter() - t0 < 5.0, "deadlock must be detected fast"
+        assert isinstance(ei.value.cause, CommunicationError)
+        assert "deadlock" in str(ei.value.cause)
+        assert "rank 0 in recv" in str(ei.value.cause)
+
+    def test_early_return_desync_is_detected(self):
+        def prog(ctx):
+            if ctx.rank == 2:
+                return  # never reaches the barrier the others wait at
+            ctx.comm.barrier()
+
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 3, backend="serial")
+        assert isinstance(ei.value.cause, CommunicationError)
+
+    def test_point_to_point_and_alltoall(self):
+        def prog(ctx):
+            ctx.comm.send((ctx.rank + 1) % ctx.size, ctx.rank * 10.0)
+            got = ctx.comm.recv((ctx.rank - 1) % ctx.size)
+            received = ctx.comm.alltoallv(
+                [np.full(2, ctx.rank) for _ in range(ctx.size)]
+            )
+            return got, sum(int(r[0]) for r in received)
+
+        res = run_spmd(prog, 4, backend="serial")
+        assert [v[0] for v in res.values] == [30.0, 0.0, 10.0, 20.0]
+        assert [v[1] for v in res.values] == [6, 6, 6, 6]
+
+
+class TestProcessTransport:
+    def test_shared_array_roundtrip(self):
+        arr = np.arange(17.0) * 1.5
+        shared = _SharedArray(arr)
+        view = shared.as_array()
+        assert view.dtype == arr.dtype and view.shape == arr.shape
+        np.testing.assert_array_equal(view, arr)
+
+    def test_shared_array_empty(self):
+        shared = _SharedArray(np.array([], dtype=np.int64))
+        assert shared.as_array().size == 0
+        assert shared.as_array().dtype == np.int64
+
+    def test_point_to_point_and_alltoall_across_processes(self):
+        def prog(ctx):
+            ctx.comm.send((ctx.rank + 1) % ctx.size, ctx.rank * 10.0)
+            got = ctx.comm.recv((ctx.rank - 1) % ctx.size)
+            received = ctx.comm.alltoallv(
+                [np.full(2, ctx.rank) for _ in range(ctx.size)]
+            )
+            return got, sum(int(r[0]) for r in received)
+
+        res = run_spmd(prog, 4, backend="process")
+        assert [v[0] for v in res.values] == [30.0, 0.0, 10.0, 20.0]
+        assert [v[1] for v in res.values] == [6, 6, 6, 6]
+
+    def test_unpicklable_worker_exception_is_wrapped(self):
+        def prog(ctx):
+            if ctx.rank == 1:
+                class Local(Exception):  # local class: cannot unpickle
+                    pass
+
+                raise Local("inner detail")
+            ctx.comm.barrier()
+
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 2, backend="process")
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.cause, UnpicklableWorkerFailure)
+        assert "inner detail" in str(ei.value.cause)
+
+    def test_trace_events_cross_the_process_boundary(self):
+        def prog(ctx):
+            ctx.comm.broadcast(ctx.rank, root=0)
+            ctx.comm.combine(1)
+
+        threaded = run_spmd(prog, 3, trace=True, backend="threaded")
+        proc = run_spmd(prog, 3, trace=True, backend="process")
+        for op in ("broadcast", "combine"):
+            assert proc.tracer.count(op) == threaded.tracer.count(op) == 3
+
+    def test_unmatched_send_is_reported(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send(1, "orphan", tag="lost")
+            ctx.comm.barrier()
+
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 2, backend="process")
+        assert isinstance(ei.value.cause, CommunicationError)
+        assert "undelivered" in str(ei.value.cause)

@@ -1,5 +1,10 @@
 """Failure injection across the stack: a failing rank must surface as a
-clean WorkerError, never a hang, wherever the failure happens."""
+clean WorkerError, never a hang, wherever the failure happens — on every
+execution backend."""
+
+import multiprocessing
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -9,6 +14,24 @@ from repro.balance import get_balancer
 from repro.errors import WorkerError
 from repro.kernels import CostedKernels
 from repro.machine import run_spmd
+
+BACKENDS = ["serial", "threaded", "process"]
+
+
+def _assert_no_leaked_workers(threads_before: int) -> None:
+    """Threads decay to the pre-launch count; no child process survives."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if (
+            threading.active_count() <= threads_before
+            and not multiprocessing.active_children()
+        ):
+            return
+        time.sleep(0.01)
+    assert threading.active_count() <= threads_before, (
+        f"leaked threads: {[t.name for t in threading.enumerate()]}"
+    )
+    assert not multiprocessing.active_children(), "leaked worker processes"
 
 
 class TestFailurePhases:
@@ -83,6 +106,72 @@ class TestFailurePhases:
             run_spmd(prog, 2)
         assert ei.value.__cause__ is ei.value.cause
         assert isinstance(ei.value.cause, ZeroDivisionError)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEveryBackendFailsClean:
+    """The backends satellite: a rank raising mid-iteration aborts cleanly
+    on each backend — WorkerError chains the original exception, nothing
+    leaks, and the Machine keeps serving."""
+
+    def test_mid_iteration_failure_chains_original(self, backend):
+        def prog(ctx, shard):
+            k = CostedKernels(ctx)
+            total = ctx.comm.allreduce_sum(int(shard.size))
+            assert total == 40
+            k.count3(shard, float(np.median(shard)))
+            if ctx.rank == 2:
+                raise ValueError("mid-iteration failure")
+            ctx.comm.gather(ctx.rank)
+            ctx.comm.barrier()
+
+        threads_before = threading.active_count()
+        machine = repro.Machine(n_procs=4, backend=backend)
+        shards = [np.arange(10.0) + r for r in range(4)]
+        with pytest.raises(WorkerError) as ei:
+            machine.run(prog, rank_args=[(s,) for s in shards])
+        assert ei.value.rank == 2
+        assert isinstance(ei.value.cause, ValueError)
+        assert str(ei.value.cause) == "mid-iteration failure"
+        assert ei.value.__cause__ is ei.value.cause
+        _assert_no_leaked_workers(threads_before)
+
+    def test_machine_reusable_after_failure(self, backend):
+        machine = repro.Machine(n_procs=4, backend=backend)
+
+        def bad(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("x")
+            ctx.comm.barrier()
+
+        with pytest.raises(WorkerError):
+            machine.run(bad)
+        data = machine.generate(1000, seed=0)
+        rep = data.median()
+        assert rep.value == np.sort(data.gather())[499]
+        assert rep.backend == backend
+
+    def test_failure_during_selection_is_clean(self, backend):
+        machine = repro.Machine(n_procs=4, backend=backend)
+        data = machine.generate(2000, seed=1)
+
+        def poisoned(ctx, shard):
+            if ctx.rank == 1:
+                raise ZeroDivisionError("poisoned shard")
+            # Healthy ranks enter the selection engine and block at its
+            # first collective; the abort must unwind them.
+            from repro.selection import SelectionConfig, randomized_select
+
+            return randomized_select(
+                ctx, shard.copy(), 1, SelectionConfig(seed=0)
+            )
+
+        threads_before = threading.active_count()
+        with pytest.raises(WorkerError) as ei:
+            machine.run(poisoned, rank_args=[(s,) for s in data.shards])
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.cause, ZeroDivisionError)
+        _assert_no_leaked_workers(threads_before)
 
 
 class TestBadProgramShapes:

@@ -26,6 +26,21 @@ class TestValidation:
                      "global_exchange"]:
             assert name in str(ei.value)
 
+    def test_unknown_backend_names_options(self):
+        from repro.machine import available_backends
+
+        with pytest.raises(ConfigurationError, match="unknown backend") as ei:
+            repro.SelectionPlan(backend="mpi")
+        for name in available_backends():
+            assert name in str(ei.value)
+
+    def test_known_backends_construct(self):
+        from repro.machine import available_backends
+
+        for name in available_backends():
+            assert repro.SelectionPlan(backend=name).backend == name
+        assert repro.SelectionPlan(backend=None).backend is None
+
     @pytest.mark.parametrize("field", ["sequential_method", "impl_override"])
     def test_unknown_sequential_method_names_options(self, field):
         with pytest.raises(
@@ -160,6 +175,7 @@ class TestPlanObject:
             base.replace(max_iterations=7),
             base.replace(fast_params=FastRandomizedParams(delta=0.7)),
             base.replace(impl_override="introselect"),
+            base.replace(backend="serial"),
         ]
         keys = {v.cache_key() for v in variants} | {base.cache_key()}
         assert len(keys) == len(variants) + 1

@@ -54,6 +54,61 @@ def test_property_balancer_never_changes_answer(problem, balancer):
     assert rep.value == expect
 
 
+@st.composite
+def rank_batch_problem(draw):
+    """A distributed problem plus an arbitrary batch of target ranks
+    (duplicates and arbitrary order included)."""
+    shards, _ = draw(distributed_problem())
+    n = int(sum(s.size for s in shards))
+    ks = draw(st.lists(st.integers(1, n), min_size=1, max_size=6))
+    return shards, ks
+
+
+@settings(max_examples=15)
+@given(problem=rank_batch_problem(),
+       algo=st.sampled_from(ALGOS), seed=st.integers(0, 3))
+def test_property_coalesced_flush_matches_independent_selects(
+    problem, algo, seed
+):
+    """The Session layer keeps the engine's answers: a flushed coalesced
+    batch of rank queries is value-identical to the same queries issued as
+    independent one-shot selects, for any generated rank set."""
+    shards, ks = problem
+    machine = repro.Machine(n_procs=len(shards), cost_model=zero_cost_model())
+    d = machine.from_shards(shards)
+    plan = repro.SelectionPlan(algorithm=algo, seed=seed)
+    with machine.session(plan) as session:
+        futures = [session.select(d, k) for k in ks]
+        batch_future = session.multi_select(d, ks)
+    coalesced = [f.value for f in futures]
+    independent = [
+        repro.select(d, k, algorithm=algo, seed=seed).value for k in ks
+    ]
+    oracle = np.sort(d.gather())
+    assert coalesced == independent
+    assert batch_future.values == independent
+    assert independent == [oracle[k - 1] for k in ks]
+
+
+@settings(max_examples=10)
+@given(problem=rank_batch_problem())
+def test_property_session_replay_serves_from_cache(problem):
+    """Re-querying any flushed rank set costs zero launches and returns
+    identical values."""
+    shards, ks = problem
+    machine = repro.Machine(n_procs=len(shards), cost_model=zero_cost_model())
+    d = machine.from_shards(shards)
+    session = machine.session(repro.SelectionPlan(algorithm="randomized"))
+    first = [session.select(d, k) for k in ks]
+    session.flush()
+    before = machine.launch_count
+    replay = [session.select(d, k) for k in ks]
+    session.flush()
+    assert machine.launch_count == before
+    assert [f.value for f in replay] == [f.value for f in first]
+    assert all(f.result().cached for f in replay)
+
+
 @settings(max_examples=10)
 @given(problem=distributed_problem())
 def test_property_stats_invariants(problem):
