@@ -1,0 +1,78 @@
+"""Streaming selection subsystem: the sketch-prefilter claims.
+
+Claims pinned here (the streaming PR's acceptance bar):
+
+1. At n >= 1M, a sketch-prefiltered select over a ``StreamingArray``
+   (``SelectionPlan(prefilter="sketch")``, ingest-time sketches) beats the
+   plain contraction on **simulated time**, with bit-identical values.
+2. The surviving fraction the exact contraction grinds is **< 10%** of the
+   keys (it is ~2*eps at the default eps=0.01).
+3. Re-querying the same ranks with no append in between costs ZERO
+   launches (append-aware fingerprint + Session result cache), and an
+   append invalidates precisely (the next query launches again).
+
+Full grid: ``python -m repro.bench stream --scale paper``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.harness import KILO, run_stream_point
+
+N = 1024 * KILO  # >= 1M keys
+P = 8
+
+
+@pytest.mark.parametrize("algorithm", ["fast_randomized", "randomized"])
+def test_prefiltered_beats_plain_at_1m(benchmark, algorithm):
+    pt = benchmark.pedantic(
+        run_stream_point, args=(algorithm, N, P),
+        kwargs=dict(q=3, n_batches=8), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["prefiltered_simulated_s"] = pt.prefiltered_simulated
+    benchmark.extra_info["plain_simulated_s"] = pt.plain_simulated
+    benchmark.extra_info["speedup"] = pt.speedup
+    benchmark.extra_info["survivor_fraction"] = pt.survivor_fraction
+    assert pt.prefiltered_simulated < pt.plain_simulated, (
+        f"sketch-prefiltered select must beat plain select at n={N}: "
+        f"{pt.prefiltered_simulated:.4f}s vs {pt.plain_simulated:.4f}s"
+    )
+    assert pt.survivor_fraction < 0.10, (
+        f"survivor fraction must stay below 10%, got "
+        f"{pt.survivor_fraction:.2%}"
+    )
+    assert pt.replay_launches == 0, "no-append replay must not launch"
+
+
+def test_streamed_prefiltered_matches_oracle_and_caches(benchmark):
+    """End to end at 1M: values against a host-side oracle, zero-launch
+    replay, precise invalidation on append."""
+    machine = repro.Machine(n_procs=P)
+    rng = np.random.default_rng(17)
+    stream = machine.stream()
+    for _ in range(8):
+        stream.append(rng.random(N // 8))
+    plan = repro.SelectionPlan(prefilter="sketch",
+                               impl_override="introselect")
+    session = machine.session(plan)
+    ks = [1, N // 2, (99 * N) // 100]
+
+    def serve():
+        return session.run_multi_select(stream, ks)
+
+    rep = benchmark.pedantic(serve, rounds=1, iterations=1)
+    oracle = np.sort(stream.gather())
+    assert rep.values == [oracle[k - 1] for k in ks]
+    assert rep.prefilter is not None and rep.prefilter.prebuilt
+    assert rep.prefilter.survivor_fraction < 0.10
+
+    before = machine.launch_count
+    again = session.run_multi_select(stream, ks)
+    assert again.cached and again.values == rep.values
+    assert machine.launch_count == before, "replay must cost zero launches"
+
+    stream.append(rng.random(1000))
+    fresh = session.run_multi_select(stream, [1, stream.n // 2])
+    assert not fresh.cached, "append must invalidate the result cache"
+    assert machine.launch_count == before + 1

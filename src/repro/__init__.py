@@ -18,8 +18,16 @@ The package provides:
   session accepts rank queries as futures, coalesces all pending queries
   per (array, plan) into ONE batched SPMD launch on ``flush()``, and
   serves repeated traffic from a result cache with zero new launches;
+* :mod:`repro.stream` — the streaming subsystem: :class:`repro.StreamingArray`
+  (appendable, window-aware distributed arrays with an append-aware cache
+  fingerprint), :class:`repro.QuantileSketch` (mergeable per-rank rank
+  summaries), and sketch-accelerated exact refinement, opt-in per plan via
+  ``SelectionPlan(prefilter="sketch")``;
 * :func:`repro.rebalance` — the paper's load balancers (order maintaining,
   modified order maintaining, dimension exchange, global exchange);
+* :data:`repro.DISTRIBUTIONS` / :func:`repro.generate_shards` /
+  :func:`repro.describe` — the named workload registry (the public path;
+  ``repro.data.generators`` is the implementation module);
 * :mod:`repro.bench` — a harness regenerating every table and figure of the
   paper's evaluation.
 
@@ -31,6 +39,7 @@ from .core import (
     Machine,
     MultiSelectionFuture,
     MultiSelectionReport,
+    PrefilterStats,
     SelectionFuture,
     SelectionPlan,
     SelectionReport,
@@ -42,6 +51,7 @@ from .core import (
     rebalance,
     select,
 )
+from .data.generators import DISTRIBUTIONS, describe, generate_shards
 from .errors import (
     CommunicationError,
     ConfigurationError,
@@ -58,19 +68,26 @@ from .machine.cost_model import (
     cm5_fast_network,
     zero_cost_model,
 )
+from .stream import QuantileSketch, StreamingArray
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DISTRIBUTIONS",
     "DistributedArray",
     "Machine",
     "MultiSelectionFuture",
     "MultiSelectionReport",
+    "PrefilterStats",
+    "QuantileSketch",
     "SelectionFuture",
     "SelectionPlan",
     "SelectionReport",
     "Session",
     "SessionStats",
+    "StreamingArray",
+    "describe",
+    "generate_shards",
     "median",
     "multi_select",
     "quantiles",

@@ -30,11 +30,13 @@ __all__ = [
     "BackendPointResult",
     "PointResult",
     "SessionPointResult",
+    "StreamPointResult",
     "run_backend_point",
     "run_point",
     "run_multiselect_point",
     "run_session_point",
     "run_series",
+    "run_stream_point",
     "quantile_ranks",
     "PAPER_P_SWEEP",
     "KILO",
@@ -493,5 +495,156 @@ def run_session_point(
         independent_iterations=statistics.mean(ind_iters),
         replay_launches=statistics.mean(rp_launches),
         replay_hits=statistics.mean(rp_hits),
+        trials=trials,
+    )
+
+
+@dataclass
+class StreamPointResult:
+    """One streaming grid point: ingest ``n_batches`` appends, then answer
+    ``q`` quantile ranks of the live window with the sketch-prefiltered
+    exact path versus the plain contraction (averaged over trials).
+
+    The prefiltered launch rides the stream's ingest-time sketches
+    (``prebuilt``), so its simulated time excludes summarisation — that
+    work was amortised into the appends, which is the subsystem's claim.
+    """
+
+    algorithm: str
+    distribution: str
+    n: int
+    p: int
+    q: int
+    n_batches: int
+    eps: float
+    #: Simulated seconds of the prefiltered vs plain batched launch.
+    prefiltered_simulated: float
+    plain_simulated: float
+    prefiltered_wall: float
+    plain_wall: float
+    #: Surviving key fraction the exact contraction actually ground.
+    survivor_fraction: float
+    #: Stored keys in the merged cross-rank sketch.
+    sketch_size: float
+    #: Contraction-iteration halving estimate the pre-filter skipped.
+    rounds_saved: float
+    #: Re-query of the same ranks after no append (the claim: 0 launches).
+    replay_launches: float
+    trials: int
+
+    @property
+    def speedup(self) -> float:
+        """Plain-over-prefiltered simulated time (>1: the sketch wins)."""
+        if not self.prefiltered_simulated:
+            return float("inf")
+        return self.plain_simulated / self.prefiltered_simulated
+
+    def as_points(self) -> tuple[PointResult, PointResult]:
+        """CSV-exportable rows (prefiltered, plain)."""
+        shared = dict(
+            balancer="none", distribution=self.distribution,
+            n=self.n, p=self.p, iterations=0.0, balance_time=0.0,
+            trials=self.trials,
+        )
+        return (
+            PointResult(
+                algorithm=f"{self.algorithm}/sketch-prefiltered(q={self.q})",
+                simulated_time=self.prefiltered_simulated,
+                wall_time=self.prefiltered_wall,
+                **shared,
+            ),
+            PointResult(
+                algorithm=f"{self.algorithm}/plain(q={self.q})",
+                simulated_time=self.plain_simulated,
+                wall_time=self.plain_wall,
+                **shared,
+            ),
+        )
+
+
+def run_stream_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    q: int = 3,
+    n_batches: int = 4,
+    distribution: str = "random",
+    eps: float = 0.01,
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+) -> StreamPointResult:
+    """Measure the streaming subsystem on one grid point.
+
+    Per trial: generate the named workload, ingest it as ``n_batches``
+    appends into a :class:`~repro.stream.stream.StreamingArray`, then
+    answer ``q`` evenly spaced quantile ranks three ways —
+
+    1. **Prefiltered** — ``SelectionPlan(prefilter="sketch")`` over the
+       stream (prebuilt ingest-time sketches; ONE batched launch);
+    2. **Plain** — the same plan without the pre-filter (the baseline the
+       speedup is measured against); values are asserted identical;
+    3. **Replay** — the prefiltered ranks again with no append in between
+       (the serving claim: zero launches).
+    """
+    from ..data.generators import generate_shards
+
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    machine = Machine(n_procs=p, cost_model=cost_model or CM5)
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer="none", seed=seed,
+        impl_override=impl_override, prefilter="sketch", sketch_eps=eps,
+    )
+    ks = quantile_ranks(n, q)
+    pre_sims, pre_walls, plain_sims, plain_walls = [], [], [], []
+    fractions, sizes, rounds, rp_launches = [], [], [], []
+    for t in range(trials):
+        host = np.concatenate(
+            generate_shards(n, 1, distribution, seed + 1000 * t)
+        )
+        stream = machine.stream()
+        batch = max(1, n // n_batches)
+        for start in range(0, n, batch):
+            stream.append(host[start: start + batch])
+        session = machine.session(plan.replace(seed=seed + t))
+
+        pre = session.run_multi_select(stream, ks)
+        pre_sims.append(pre.simulated_time)
+        pre_walls.append(pre.wall_time)
+        fractions.append(pre.prefilter.survivor_fraction)
+        sizes.append(pre.prefilter.sketch_size)
+        rounds.append(pre.prefilter.rounds_saved)
+
+        before = machine.launch_count
+        replay = session.run_multi_select(stream, ks)
+        rp_launches.append(machine.launch_count - before)
+        assert replay.values == pre.values, "replay served different answers"
+
+        plain = session.run_multi_select(
+            stream, ks, plan.replace(seed=seed + t, prefilter=None)
+        )
+        plain_sims.append(plain.simulated_time)
+        plain_walls.append(plain.wall_time)
+        assert plain.values == pre.values, (
+            "sketch-prefiltered answers must be bit-identical to plain"
+        )
+    return StreamPointResult(
+        algorithm=algorithm,
+        distribution=distribution,
+        n=n,
+        p=p,
+        q=q,
+        n_batches=n_batches,
+        eps=eps,
+        prefiltered_simulated=statistics.mean(pre_sims),
+        plain_simulated=statistics.mean(plain_sims),
+        prefiltered_wall=statistics.mean(pre_walls),
+        plain_wall=statistics.mean(plain_walls),
+        survivor_fraction=statistics.mean(fractions),
+        sketch_size=statistics.mean(sizes),
+        rounds_saved=statistics.mean(rounds),
+        replay_launches=statistics.mean(rp_launches),
         trials=trials,
     )

@@ -18,6 +18,7 @@ from .api import (
     select,
 )
 from .plan import SelectionPlan
+from .reports import PrefilterStats
 from .session import (
     MultiSelectionFuture,
     SelectionFuture,
@@ -30,6 +31,7 @@ __all__ = [
     "Machine",
     "MultiSelectionFuture",
     "MultiSelectionReport",
+    "PrefilterStats",
     "SelectionFuture",
     "SelectionPlan",
     "SelectionReport",

@@ -130,6 +130,16 @@ class Machine:
             self, generate_shards(n, self.n_procs, distribution, seed)
         )
 
+    def stream(self, dtype=None, window=None, window_mode: str = "sliding"):
+        """An appendable :class:`~repro.stream.stream.StreamingArray` on
+        this machine (``append(batch)`` ingest, windowed retirement,
+        ingest-time sketches for ``prefilter="sketch"`` plans)."""
+        from ..stream.stream import StreamingArray
+
+        return StreamingArray(
+            self, dtype=dtype, window=window, window_mode=window_mode
+        )
+
     def run(self, fn, rank_args=None, args=(), kwargs=None,
             backend=None) -> SPMDResult:
         """Escape hatch: run a raw SPMD program on this machine.

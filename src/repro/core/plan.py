@@ -32,10 +32,13 @@ from ..machine.backends import available_backends
 from ..selection import ALGORITHMS, SelectionConfig
 from ..selection.fast_randomized import FastRandomizedParams
 
-__all__ = ["SelectionPlan", "SEQUENTIAL_METHODS", "as_plan"]
+__all__ = ["SelectionPlan", "SEQUENTIAL_METHODS", "PREFILTERS", "as_plan"]
 
 #: The sequential kernels ``sequential_method`` / ``impl_override`` accept.
 SEQUENTIAL_METHODS: tuple[str, ...] = get_args(SelectMethod)
+
+#: Pre-filter stages a plan may request before the exact contraction.
+PREFILTERS: tuple[str, ...] = ("sketch",)
 
 
 def _check_method(value: Optional[str], what: str) -> None:
@@ -90,6 +93,16 @@ class SelectionPlan:
         backend (itself defaulting to ``$REPRO_BACKEND`` or threaded).
         Values, RNG streams and simulated times are backend-independent;
         only wall-clock changes.
+    prefilter:
+        ``"sketch"`` localises every target rank with a mergeable quantile
+        sketch (one Global Concatenate + one Combine) and runs the exact
+        contraction on the surviving candidate interval only
+        (:mod:`repro.stream.refine`). Answers are bit-identical to the
+        plain path; ``"none"``/``None`` disables.
+    sketch_eps:
+        Accuracy of the pre-filter sketch: stored size is ``O(1/eps)``
+        and the surviving fraction ``O(eps)``. Only consumed when
+        ``prefilter="sketch"``.
     """
 
     algorithm: str = "fast_randomized"
@@ -101,6 +114,8 @@ class SelectionPlan:
     fast_params: Optional[FastRandomizedParams] = None
     impl_override: Optional[str] = None
     backend: Optional[str] = None
+    prefilter: Optional[str] = None
+    sketch_eps: float = 0.01
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -130,6 +145,21 @@ class SelectionPlan:
                 f"unknown backend {self.backend!r}; "
                 f"available: {sorted(available_backends())}"
             )
+        if self.prefilter == "none":
+            object.__setattr__(self, "prefilter", None)
+        if self.prefilter is not None and self.prefilter not in PREFILTERS:
+            raise ConfigurationError(
+                f"unknown prefilter {self.prefilter!r}; "
+                f"available: {sorted(PREFILTERS) + ['none']}"
+            )
+        if isinstance(self.sketch_eps, bool) or not isinstance(
+            self.sketch_eps, numbers.Real
+        ) or not (0.0 < float(self.sketch_eps) <= 0.5):
+            raise ConfigurationError(
+                f"sketch_eps must be a real number in (0, 0.5], "
+                f"got {self.sketch_eps!r}"
+            )
+        object.__setattr__(self, "sketch_eps", float(self.sketch_eps))
         if self.fast_params is not None and not isinstance(
             self.fast_params, FastRandomizedParams
         ):
@@ -198,6 +228,9 @@ class SelectionPlan:
             fp,
             self.impl_override,
             self.backend,
+            self.prefilter,
+            # sketch_eps only shapes behaviour when the pre-filter is on.
+            self.sketch_eps if self.prefilter is not None else None,
         )
 
     def replace(self, **changes) -> "SelectionPlan":
@@ -212,10 +245,13 @@ class SelectionPlan:
         parts = [f"algorithm={self.algorithm}", f"balancer={bal}",
                  f"seed={self.seed}"]
         for name in ("sequential_method", "endgame_threshold",
-                     "max_iterations", "impl_override", "backend"):
+                     "max_iterations", "impl_override", "backend",
+                     "prefilter"):
             v = getattr(self, name)
             if v is not None:
                 parts.append(f"{name}={v}")
+        if self.prefilter is not None:
+            parts.append(f"sketch_eps={self.sketch_eps}")
         if self.fast_params is not None:
             parts.append(f"fast_params={self.fast_params}")
         return "SelectionPlan(" + ", ".join(parts) + ")"

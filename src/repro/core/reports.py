@@ -26,7 +26,49 @@ from ..machine.clock import TimeBreakdown
 from ..machine.engine import SPMDResult
 from ..selection import MultiSelectionStats, SelectionStats
 
-__all__ = ["SelectionReport", "MultiSelectionReport"]
+__all__ = ["PrefilterStats", "SelectionReport", "MultiSelectionReport"]
+
+
+@dataclass(frozen=True)
+class PrefilterStats:
+    """Evidence of one sketch-accelerated pre-filter pass.
+
+    Produced inside the SPMD launch by :mod:`repro.stream.refine` and
+    carried on the run's stats (``report.stats.prefilter`` /
+    ``report.prefilter``): how small the merged sketch was, what fraction
+    of the keys survived into the exact contraction, and roughly how many
+    contraction rounds the pre-filter saved.
+    """
+
+    #: Sketch accuracy parameter the plan requested.
+    eps: float
+    #: Stored keys in the merged (cross-rank) sketch.
+    sketch_size: int
+    #: Total keys in the queried array.
+    n: int
+    #: Keys that survived the candidate-interval pre-filter globally.
+    survivors: int
+    #: Disjoint candidate key intervals after merging per-rank bounds.
+    intervals: int
+    #: Contraction iterations the pre-filter skipped (a ``log2(n /
+    #: survivors)`` halving estimate — each skipped iteration is a full
+    #: partition pass plus its collectives).
+    rounds_saved: int
+    #: True when the sketch bounds failed verification against the exact
+    #: counts and the launch fell back to the full input (never expected;
+    #: kept as a safety valve and visible evidence).
+    fallback: bool = False
+    #: True when the local sketches were prebuilt at ingest time (a
+    #: :class:`~repro.stream.stream.StreamingArray` maintains them per
+    #: append) rather than built inside the query launch.
+    prebuilt: bool = False
+
+    @property
+    def survivor_fraction(self) -> float:
+        """Surviving fraction of the input (``1.0`` on fallback)."""
+        if self.n <= 0:
+            return 1.0
+        return self.survivors / self.n
 
 
 @dataclass
@@ -53,6 +95,11 @@ class _RunReport:
     def balance_time(self) -> float:
         """Simulated seconds spent load balancing (max across ranks)."""
         return self.result.balance_time if self.result else self.breakdown.balance
+
+    @property
+    def prefilter(self) -> Optional[PrefilterStats]:
+        """Sketch pre-filter evidence (``None`` for plain runs)."""
+        return getattr(getattr(self, "stats", None), "prefilter", None)
 
 
 @dataclass

@@ -70,24 +70,77 @@ __all__ = [
 # --------------------------------------------------------------------------
 
 
-def execute_select(
-    data: "DistributedArray", k: int, plan: SelectionPlan
-) -> SelectionReport:
-    """One single-rank selection launch (the historical ``select`` body)."""
+# Shared launch plumbing: the plain paths below and the sketch-prefiltered
+# paths of repro.stream.refine differ only in the SPMD program body (and
+# its per-rank args); resolution, validation, the empty-set report and the
+# report assembly live here ONCE so the two paths cannot drift apart —
+# which is what keeps the "bit-identical to plain" contract honest.
+
+
+def resolve_single(plan: SelectionPlan):
+    """``(fn, cfg, balancer_name, extra)`` for a single-rank launch."""
     fn, cfg, balancer_name = plan.resolve()
     extra: tuple = ()
     if plan.algorithm == "fast_randomized" and plan.fast_params is not None:
         extra = (plan.fast_params,)
+    return fn, cfg, balancer_name, extra
 
-    def program(ctx, shard, target_k, config):
-        return fn(ctx, shard.copy(), target_k, config, *extra)
 
-    result = data.machine.run(
-        program,
-        rank_args=[(s,) for s in data.shards],
-        args=(k, cfg),
-        backend=plan.backend,
+def resolve_multi(plan: SelectionPlan):
+    """``(cfg, balancer_name, runner)`` for a batched launch.
+
+    ``runner(ctx, arr, ks_sorted, cfg)`` answers every rank over ``arr``
+    (the full shard for the plain path, the survivors for the sketch
+    path) and returns ``(values, MultiSelectionStats)``.
+    """
+    _fn, cfg, balancer_name = plan.resolve()
+    if plan.algorithm.startswith("hybrid_"):
+        # Same forcing the single-rank hybrids apply: deterministic
+        # parallel structure, randomized sequential parts.
+        cfg = dataclasses.replace(cfg, sequential_method="randomized")
+
+    if plan.algorithm == "sort_based":
+        def runner(ctx, arr, ks_sorted, config):
+            return sort_based_multi_select(ctx, arr, ks_sorted, config)
+    else:
+        strategy_factory = STRATEGIES[plan.algorithm]
+
+        def runner(ctx, arr, ks_sorted, config):
+            return contract_multi_select(
+                ctx, arr, ks_sorted, config,
+                strategy_factory(plan.fast_params), algorithm=plan.algorithm,
+            )
+    return cfg, balancer_name, runner
+
+
+def validate_ks(ks: Sequence[int], n: int) -> list[int]:
+    """Coerce and range-check a rank set (shared by both launch paths)."""
+    ks = [int(k) for k in ks]
+    for k in ks:
+        if not (1 <= k <= max(n, 0)):
+            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+    return ks
+
+
+def empty_multi_report(
+    data: "DistributedArray", plan: SelectionPlan, balancer_name: str
+) -> MultiSelectionReport:
+    """The historical empty-``ks`` answer: an empty report, no launch."""
+    return MultiSelectionReport(
+        values=[], ks=[], n=data.n, p=data.p, algorithm=plan.algorithm,
+        balancer=balancer_name, simulated_time=0.0, wall_time=0.0,
+        breakdown=TimeBreakdown(),
+        stats=MultiSelectionStats(algorithm=plan.algorithm, n=data.n,
+                                  p=data.p),
+        backend=plan.backend or data.machine.backend_name,
     )
+
+
+def finish_select(
+    data: "DistributedArray", k: int, plan: SelectionPlan,
+    balancer_name: str, result,
+) -> SelectionReport:
+    """Unpack one single-rank launch result into its report."""
     values = [v[0] for v in result.values]
     stats: SelectionStats = result.values[0][1]
     first = values[0]
@@ -108,54 +161,12 @@ def execute_select(
     )
 
 
-def execute_multi_select(
-    data: "DistributedArray", ks: Sequence[int], plan: SelectionPlan
+def finish_multi(
+    data: "DistributedArray", ks: list[int], unique_ks: list[int],
+    plan: SelectionPlan, balancer_name: str, result,
 ) -> MultiSelectionReport:
-    """One batched multi-rank launch (the historical ``multi_select`` body).
-
-    Every rank in ``ks`` is answered by ONE contraction: the engine tracks
-    the whole target set through a single iterate-shrink pass, forking the
-    live set when a pivot lands between two targets, and the endgame costs
-    one Gather + Broadcast however many intervals survive.
-    """
-    ks = [int(k) for k in ks]
-    n = data.n
-    for k in ks:
-        if not (1 <= k <= max(n, 0)):
-            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
-    _fn, cfg, balancer_name = plan.resolve()
-    if plan.algorithm.startswith("hybrid_"):
-        # Same forcing the single-rank hybrids apply: deterministic
-        # parallel structure, randomized sequential parts.
-        cfg = dataclasses.replace(cfg, sequential_method="randomized")
-    if not ks:
-        return MultiSelectionReport(
-            values=[], ks=[], n=n, p=data.p, algorithm=plan.algorithm,
-            balancer=balancer_name, simulated_time=0.0, wall_time=0.0,
-            breakdown=TimeBreakdown(),
-            stats=MultiSelectionStats(algorithm=plan.algorithm, n=n, p=data.p),
-            backend=plan.backend or data.machine.backend_name,
-        )
-    unique_ks = sorted(set(ks))
-
-    if plan.algorithm == "sort_based":
-        def program(ctx, shard, ks_sorted, config):
-            return sort_based_multi_select(ctx, shard.copy(), ks_sorted, config)
-    else:
-        strategy_factory = STRATEGIES[plan.algorithm]
-
-        def program(ctx, shard, ks_sorted, config):
-            return contract_multi_select(
-                ctx, shard.copy(), ks_sorted, config,
-                strategy_factory(plan.fast_params), algorithm=plan.algorithm,
-            )
-
-    result = data.machine.run(
-        program,
-        rank_args=[(s,) for s in data.shards],
-        args=(unique_ks, cfg),
-        backend=plan.backend,
-    )
+    """Unpack one batched launch result into its report (``values`` align
+    with the caller's ``ks``, duplicates and input order preserved)."""
     all_values = [v[0] for v in result.values]
     stats: MultiSelectionStats = result.values[0][1]
     first = all_values[0]
@@ -167,7 +178,7 @@ def execute_multi_select(
     return MultiSelectionReport(
         values=[by_rank[k] for k in ks],
         ks=ks,
-        n=n,
+        n=data.n,
         p=data.p,
         algorithm=plan.algorithm,
         balancer=balancer_name,
@@ -178,6 +189,65 @@ def execute_multi_select(
         result=result,
         backend=result.backend,
     )
+
+
+def execute_select(
+    data: "DistributedArray", k: int, plan: SelectionPlan
+) -> SelectionReport:
+    """One single-rank selection launch (the historical ``select`` body).
+
+    Plans carrying ``prefilter="sketch"`` route to the sketch-accelerated
+    exact path (:mod:`repro.stream.refine`): same answer, same launch
+    accounting, smaller live set for the contraction.
+    """
+    if plan.prefilter == "sketch":
+        from ..stream.refine import execute_sketch_select
+
+        return execute_sketch_select(data, k, plan)
+    fn, cfg, balancer_name, extra = resolve_single(plan)
+
+    def program(ctx, shard, target_k, config):
+        return fn(ctx, shard.copy(), target_k, config, *extra)
+
+    result = data.machine.run(
+        program,
+        rank_args=[(s,) for s in data.shards],
+        args=(k, cfg),
+        backend=plan.backend,
+    )
+    return finish_select(data, k, plan, balancer_name, result)
+
+
+def execute_multi_select(
+    data: "DistributedArray", ks: Sequence[int], plan: SelectionPlan
+) -> MultiSelectionReport:
+    """One batched multi-rank launch (the historical ``multi_select`` body).
+
+    Every rank in ``ks`` is answered by ONE contraction: the engine tracks
+    the whole target set through a single iterate-shrink pass, forking the
+    live set when a pivot lands between two targets, and the endgame costs
+    one Gather + Broadcast however many intervals survive.
+    """
+    if plan.prefilter == "sketch":
+        from ..stream.refine import execute_sketch_multi_select
+
+        return execute_sketch_multi_select(data, ks, plan)
+    ks = validate_ks(ks, data.n)
+    cfg, balancer_name, runner = resolve_multi(plan)
+    if not ks:
+        return empty_multi_report(data, plan, balancer_name)
+    unique_ks = sorted(set(ks))
+
+    def program(ctx, shard, ks_sorted, config):
+        return runner(ctx, shard.copy(), ks_sorted, config)
+
+    result = data.machine.run(
+        program,
+        rank_args=[(s,) for s in data.shards],
+        args=(unique_ks, cfg),
+        backend=plan.backend,
+    )
+    return finish_multi(data, ks, unique_ks, plan, balancer_name, result)
 
 
 def per_rank_view(metrics, k: int, value, cached: bool = False) -> SelectionReport:
@@ -208,6 +278,7 @@ def per_rank_view(metrics, k: int, value, cached: bool = False) -> SelectionRepo
             found_by_pivot=bool(metrics.stats.found_by_pivot),
             balance_invocations=metrics.stats.balance_invocations,
             unsuccessful_iterations=metrics.stats.unsuccessful_iterations,
+            prefilter=metrics.stats.prefilter,
         ),
         result=metrics.result,
         cached=cached,

@@ -66,9 +66,17 @@ def payload_words(obj: Any) -> float:
     NumPy arrays count ``size * itemsize / 8``; scalars count 1; sequences
     count the sum of their items. ``None`` counts 0. The selection algorithms
     mostly move 8-byte keys, so a word is calibrated to 8 bytes.
+
+    Structured payloads (e.g. the quantile sketches of
+    :mod:`repro.stream.sketch`) size themselves via a ``__sim_words__``
+    method — the collective cost formulas then charge their true footprint
+    instead of the one-word exotic-payload fallback.
     """
     if obj is None:
         return 0.0
+    sizer = getattr(obj, "__sim_words__", None)
+    if sizer is not None:
+        return float(sizer())
     if isinstance(obj, np.ndarray):
         return obj.size * obj.itemsize / 8.0
     if isinstance(obj, (bytes, bytearray, memoryview)):

@@ -116,6 +116,10 @@ class SelectionStats:
     found_by_pivot: bool = False
     balance_invocations: int = 0
     unsuccessful_iterations: int = 0
+    #: Sketch pre-filter evidence (a
+    #: :class:`~repro.core.reports.PrefilterStats`) when the run was
+    #: sketch-accelerated; ``None`` for plain contractions.
+    prefilter: object = None
 
     @property
     def n_iterations(self) -> int:

@@ -117,7 +117,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
             "ablation-delta", "ablation-partition", "multiselect",
-            "session", "backend",
+            "session", "backend", "stream",
         }
 
     def test_scales(self):

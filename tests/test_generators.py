@@ -97,3 +97,17 @@ class TestSpecificShapes:
     def test_unknown_distribution(self):
         with pytest.raises(ConfigurationError, match="unknown distribution"):
             generate_shards(10, 2, "nope")
+
+
+class TestTopLevelReExport:
+    """The workload registry is public API: examples and benchmarks import
+    it from ``repro``, not from the ``repro.data.generators`` module."""
+
+    def test_registry_reexported(self):
+        import repro
+
+        assert repro.DISTRIBUTIONS is DISTRIBUTIONS
+        assert repro.generate_shards is generate_shards
+        assert repro.describe is describe
+        for name in ("DISTRIBUTIONS", "generate_shards", "describe"):
+            assert name in repro.__all__
