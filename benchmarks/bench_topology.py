@@ -1,0 +1,139 @@
+"""Machine shapes: crossbar bit-identity + hierarchical-cost ordering.
+
+Claims pinned here (the topology PR's acceptance bar):
+
+1. On the default ``crossbar`` topology the schedule-lowered collective
+   engine charges EXACTLY the paper's closed-form prices — a fixed
+   deterministic collective program's simulated time equals a
+   reference computed with the pre-refactor monolithic formulas,
+   bit-for-bit (``==``, not approx).
+2. The same launch returns the SAME selection value on every topology:
+   shapes only reprice rounds, they never touch the rendezvous
+   semantics.
+3. On a hierarchical cost model with slow inter-cluster links
+   (``cm5_two_level``), the ``two-level`` shape is STRICTLY slower than
+   the crossbar for a real selection workload — the round schedules
+   actually feel the machine shape.
+
+Full grid: ``python -m repro.bench topology --scale paper``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.harness import KILO, run_topology_point
+from repro.machine import CostModel, run_spmd
+from repro.machine.cost_model import ComputeCosts
+
+N = 128 * KILO
+P = 4
+
+#: Deliberately awkward link constants: any closed-form-vs-per-round-sum
+#: float drift would show in the low bits immediately.
+PIN_MODEL = CostModel(
+    tau=0.1, mu=0.007,
+    compute=ComputeCosts(0, 0, 0, 0, 0, 0, 0, 0),
+    name="pin",
+)
+
+
+def _collective_program(ctx):
+    """A deterministic mixed-primitive program exercising all 8 paths."""
+    ctx.comm.broadcast(np.zeros(17) if ctx.rank == 0 else None, root=0)
+    ctx.comm.combine(float(ctx.rank))
+    ctx.comm.prefix_sum(ctx.rank + 1)
+    ctx.comm.gather(np.zeros(9), root=min(2, ctx.size - 1))
+    ctx.comm.global_concat(np.zeros(3))
+    sends = [
+        np.zeros(ctx.rank + d + 1) if d != ctx.rank else None
+        for d in range(ctx.size)
+    ]
+    ctx.comm.alltoallv(sends)
+    partner = ctx.rank ^ 1
+    partner = partner if partner < ctx.size else None
+    ctx.comm.pairwise_exchange(
+        partner, np.zeros(31) if partner is not None else None
+    )
+    ctx.comm.barrier()
+    return ctx.clock.now
+
+
+def _legacy_reference(p: int, tau: float, mu: float) -> float:
+    """The pre-refactor monolithic cost of ``_collective_program``.
+
+    Every formula below is the paper's Section 2.2 price exactly as the
+    historical engine computed it — the pin this file exists for.
+    """
+    L = max(0, int(math.ceil(math.log2(p)))) if p > 1 else 0
+    t = 0.0
+    t += (tau + mu * 17.0) * L                       # broadcast
+    t += (tau + mu * 1.0) * L                        # combine (scalar)
+    t += (tau + mu * 1.0) * L                        # prefix (scalar)
+    t += tau * L + mu * 9.0 * (p - 1)                # gather
+    t += tau * L + mu * 3.0 * (p - 1)                # allgather
+    # alltoallv: rank i sends (i + d + 1) words to every d != i.
+    out = [sum(i + d + 1 for d in range(p) if d != i) for i in range(p)]
+    inc = [sum(s + d + 1 for s in range(p) if s != d) for d in range(p)]
+    traffic = max(max(o, i_) for o, i_ in zip(out, inc)) if p > 1 else 0.0
+    max_msgs = p - 1 if p > 1 else 0
+    t += tau * max_msgs + 2.0 * mu * float(traffic)
+    # pairwise exchange: every live pair swaps 31 words.
+    if p > 1:
+        t += tau + mu * 31.0
+    t += (tau + mu) * L                              # barrier
+    return t
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 16])
+def test_crossbar_times_bit_identical_to_prerefactor_pins(benchmark, p):
+    res = benchmark.pedantic(
+        run_spmd, args=(_collective_program, p),
+        kwargs=dict(cost_model=PIN_MODEL, topology="crossbar"),
+        rounds=1, iterations=1,
+    )
+    expected = _legacy_reference(p, PIN_MODEL.tau, PIN_MODEL.mu)
+    benchmark.extra_info["simulated_s"] = res.simulated_time
+    assert res.simulated_time == expected, (
+        f"crossbar p={p}: schedule-lowered cost {res.simulated_time!r} is "
+        f"not bit-identical to the pre-refactor formula {expected!r}"
+    )
+    # Every rank agrees (bulk-synchronous clocks).
+    assert all(c == expected for c in res.clocks)
+
+
+def test_values_identical_across_topologies_and_two_level_slower(benchmark):
+    pt = benchmark.pedantic(
+        run_topology_point, args=("fast_randomized", N, P),
+        kwargs=dict(trials=1), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["simulated_s"] = dict(pt.simulated_times)
+    benchmark.extra_info["hierarchical_s"] = dict(pt.hierarchical_times)
+    assert pt.values_agree, f"topologies disagree on the answer: {pt.values}"
+    # The acceptance gate: slow inter-cluster links make the two-level
+    # machine strictly slower than the crossbar at the same workload.
+    assert pt.hierarchical_times["two-level"] > pt.hierarchical_times["crossbar"], (
+        f"two-level with slow inter links must be strictly slower than "
+        f"crossbar, got {pt.hierarchical_times}"
+    )
+    # And the flat crossbar price is untouched by the hierarchy fields.
+    assert pt.hierarchical_times["crossbar"] == pt.simulated_times["crossbar"]
+
+
+def test_crossbar_selection_identical_with_and_without_topology_arg(benchmark):
+    def run_both():
+        out = {}
+        for topo in (None, "crossbar"):
+            machine = repro.Machine(n_procs=P, topology=topo)
+            data = machine.generate(N, distribution="zipf", seed=11)
+            out[topo] = data.select(N // 3, seed=5)
+        return out
+
+    reports = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    default, explicit = reports[None], reports["crossbar"]
+    assert default.value == explicit.value
+    assert default.simulated_time == explicit.simulated_time
+    assert default.breakdown == explicit.breakdown
+    assert default.topology == explicit.topology == "crossbar"

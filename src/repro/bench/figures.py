@@ -29,6 +29,7 @@ from .harness import (
     run_series,
     run_session_point,
     run_stream_point,
+    run_topology_point,
 )
 from .report import render_bar_rows, render_series_table
 
@@ -460,6 +461,46 @@ def stream(scale: str = "small") -> FigureResult:
                         text, points)
 
 
+def topology(scale: str = "small") -> FigureResult:
+    """Machine shapes compared at fixed (n, p): the same launch — same
+    data, same seed, bit-identical values — lowered onto the crossbar,
+    binomial-tree, hypercube and two-level topologies. Two prices per
+    shape: the flat CM5 model (uniform links; the shapes differ only
+    through their round schedules) and a hierarchical model with slow
+    inter-cluster links (``cm5_two_level``), which only the two-level
+    shape's inter-cluster rounds can feel."""
+    cfg = _scale(scale)
+    n = min(cfg["n_big"], 512 * KILO)
+    rows: list[str] = []
+    points: list[PointResult] = []
+    for algo in ("fast_randomized", "randomized"):
+        for p in cfg["bar_p_sweep"][:3]:
+            pt = run_topology_point(
+                algo, n, p, distribution="random", trials=1,
+            )
+            points.extend(pt.as_points())
+            agree = "ok" if pt.values_agree else "VALUES MISMATCH"
+            flat = "  ".join(
+                f"{t}={pt.simulated_times[t] * 1e3:8.2f} ms"
+                for t in pt.topologies
+            )
+            rows.append(
+                f"  {algo:>16s} p={p:<3d} [{agree}]  {flat}  "
+                f"two-level/hier={pt.hierarchical_times['two-level'] * 1e3:8.2f} ms "
+                f"({pt.slowdown('two-level', hierarchical=True):4.2f}x crossbar)"
+            )
+    text = (
+        f"== Machine shapes at fixed simulated workload, n={n // KILO}k, "
+        "random data ==\n"
+        "The same launch on four topologies: values are bit-identical\n"
+        "(collectives exchange the same payloads whatever shape prices\n"
+        "them); simulated time follows each shape's round schedules, and\n"
+        "slow inter-cluster links only hurt the two-level machine.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("topology", "Machine shape comparison", text, points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -474,6 +515,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "session": session,
     "backend": backend,
     "stream": stream,
+    "topology": topology,
 }
 
 

@@ -23,7 +23,7 @@ from ..core.plan import SelectionPlan
 from ..core.session import Session
 from ..errors import ConfigurationError
 from ..kernels.select import median_rank
-from ..machine.cost_model import CM5, CostModel
+from ..machine.cost_model import CM5, CostModel, cm5_two_level
 from ..selection.fast_randomized import FastRandomizedParams
 
 __all__ = [
@@ -31,12 +31,14 @@ __all__ = [
     "PointResult",
     "SessionPointResult",
     "StreamPointResult",
+    "TopologyPointResult",
     "run_backend_point",
     "run_point",
     "run_multiselect_point",
     "run_session_point",
     "run_series",
     "run_stream_point",
+    "run_topology_point",
     "quantile_ranks",
     "PAPER_P_SWEEP",
     "KILO",
@@ -337,6 +339,148 @@ def run_backend_point(
         result.wall_times[be] = min(walls)
         result.simulated_times[be] = rep.simulated_time
         result.values[be] = rep.value
+    return result
+
+
+@dataclass
+class TopologyPointResult:
+    """One launch measured on several machine shapes.
+
+    The *values* of a fixed ``(algorithm, data, seed)`` launch are
+    topology-independent by construction (collectives exchange the same
+    payloads whatever shape prices them); what differs is the simulated
+    time the round schedules charge. ``simulated_times`` holds the flat
+    cost-model price per topology; ``hierarchical_times`` reprices the
+    same launch on a hierarchical model with slow inter-cluster links
+    (``cm5_two_level``), which only the ``two-level`` shape can feel —
+    the claim the ``topology`` experiment and ``bench_topology.py``
+    assert.
+    """
+
+    algorithm: str
+    distribution: str
+    n: int
+    p: int
+    topologies: tuple[str, ...]
+    #: Simulated seconds per topology on the flat cost model.
+    simulated_times: dict = field(default_factory=dict)
+    #: Simulated seconds per topology with slow inter-cluster links.
+    hierarchical_times: dict = field(default_factory=dict)
+    #: Selection answer per topology (claim: all equal, bit-for-bit).
+    values: dict = field(default_factory=dict)
+    #: Per-collective round evidence per topology (traced runs only).
+    rounds: dict = field(default_factory=dict)
+    wall_times: dict = field(default_factory=dict)
+    trials: int = 1
+
+    @property
+    def values_agree(self) -> bool:
+        vals = list(self.values.values())
+        return all(v == vals[0] for v in vals)
+
+    def slowdown(self, topology: str, baseline: str = "crossbar",
+                 hierarchical: bool = False) -> float:
+        """Simulated-time ratio ``topology / baseline`` (>1: shape hurts)."""
+        table = self.hierarchical_times if hierarchical else self.simulated_times
+        if topology not in table or baseline not in table:
+            raise ConfigurationError(
+                f"slowdown needs both {topology!r} and {baseline!r} measured; "
+                f"have {sorted(table)}"
+            )
+        if not table[baseline]:
+            return float("inf")
+        return table[topology] / table[baseline]
+
+    def as_points(self) -> list[PointResult]:
+        """One CSV-exportable row per (topology, cost-model) pair."""
+        rows = []
+        for hier, table in ((False, self.simulated_times),
+                            (True, self.hierarchical_times)):
+            suffix = "/hier" if hier else ""
+            rows.extend(
+                PointResult(
+                    algorithm=f"{self.algorithm}@{topo}{suffix}",
+                    balancer="none",
+                    distribution=self.distribution,
+                    n=self.n,
+                    p=self.p,
+                    simulated_time=table[topo],
+                    balance_time=0.0,
+                    wall_time=self.wall_times.get(topo, 0.0),
+                    iterations=0.0,
+                    trials=self.trials,
+                )
+                for topo in self.topologies
+                if topo in table
+            )
+        return rows
+
+
+def run_topology_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    distribution: str = "random",
+    topologies: tuple[str, ...] = (
+        "crossbar", "binomial-tree", "hypercube", "two-level"
+    ),
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    hierarchical_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+    k: int | None = None,
+    trace: bool = False,
+) -> TopologyPointResult:
+    """Run ONE fixed launch on every machine shape and compare clocks.
+
+    The same ``(algorithm, data, seed)`` launch runs once per topology on
+    the flat cost model and once on a hierarchical one (slow
+    inter-cluster links); values are asserted comparable via
+    ``values_agree``, and ``trace=True`` additionally collects each
+    shape's per-collective round counts.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    result = TopologyPointResult(
+        algorithm=algorithm, distribution=distribution, n=n, p=p,
+        topologies=tuple(topologies), trials=trials,
+    )
+    target = k if k is not None else median_rank(n)
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer="none", seed=seed,
+        impl_override=impl_override,
+    )
+    hier = hierarchical_model if hierarchical_model is not None \
+        else cm5_two_level()
+    for topo in topologies:
+        machine = Machine(
+            n_procs=p, cost_model=cost_model or CM5, topology=topo,
+            trace=trace,
+        )
+        one_shot = Session(machine, cache=False)
+        data = machine.generate(n, distribution=distribution, seed=seed)
+        walls = []
+        for _ in range(trials):
+            rep = one_shot.run_select(data, target, plan)
+            walls.append(rep.wall_time)
+        result.wall_times[topo] = min(walls)
+        result.simulated_times[topo] = rep.simulated_time
+        result.values[topo] = rep.value
+        if trace:
+            result.rounds[topo] = rep.collective_rounds()
+
+        hier_machine = Machine(n_procs=p, cost_model=hier, topology=topo)
+        hier_data = hier_machine.generate(
+            n, distribution=distribution, seed=seed
+        )
+        hier_rep = Session(hier_machine, cache=False).run_select(
+            hier_data, target, plan
+        )
+        result.hierarchical_times[topo] = hier_rep.simulated_time
+        assert hier_rep.value == rep.value, (
+            "cost model must not change selection values"
+        )
     return result
 
 

@@ -45,6 +45,13 @@ class Machine:
     ``"threaded"`` or ``"process"``; ``None`` = ``$REPRO_BACKEND`` or
     threaded). Selection values, RNG streams and simulated times are
     identical on every backend — only wall-clock differs.
+
+    ``topology`` picks the machine *shape* collectives are lowered onto
+    (``"crossbar"``, ``"binomial-tree"``, ``"hypercube"``, ``"two-level"``
+    / ``"two-level:<cluster_size>"``, or a ready
+    :class:`~repro.machine.topology.Topology`; ``None`` =
+    ``$REPRO_TOPOLOGY`` or crossbar). Values and RNG streams are identical
+    on every shape — simulated time is exactly what the shape changes.
     """
 
     def __init__(
@@ -53,10 +60,11 @@ class Machine:
         cost_model: CostModel | None = None,
         trace: bool = False,
         backend=None,
+        topology=None,
     ):
         self.runtime = SPMDRuntime(
             n_procs, cost_model=cost_model if cost_model is not None else CM5,
-            trace=trace, backend=backend,
+            trace=trace, backend=backend, topology=topology,
         )
         self._default_session: Optional["Session"] = None
 
@@ -72,6 +80,16 @@ class Machine:
     def backend_name(self) -> str:
         """Name of this machine's default execution backend."""
         return self.runtime.backend.name
+
+    @property
+    def topology_name(self) -> str:
+        """Name of this machine's default topology (machine shape)."""
+        return self.runtime.topology.name
+
+    @property
+    def topology(self):
+        """This machine's default :class:`~repro.machine.topology.Topology`."""
+        return self.runtime.topology
 
     @property
     def launch_count(self) -> int:
@@ -141,15 +159,17 @@ class Machine:
         )
 
     def run(self, fn, rank_args=None, args=(), kwargs=None,
-            backend=None) -> SPMDResult:
+            backend=None, topology=None) -> SPMDResult:
         """Escape hatch: run a raw SPMD program on this machine.
 
-        ``backend`` overrides the machine's execution backend for this
-        launch only (a :class:`~repro.core.plan.SelectionPlan` carrying a
-        backend rides this parameter).
+        ``backend`` / ``topology`` override the machine's execution
+        backend and machine shape for this launch only (a
+        :class:`~repro.core.plan.SelectionPlan` carrying either rides
+        these parameters).
         """
         return self.runtime.run(
-            fn, rank_args=rank_args, args=args, kwargs=kwargs, backend=backend
+            fn, rank_args=rank_args, args=args, kwargs=kwargs,
+            backend=backend, topology=topology,
         )
 
 

@@ -29,6 +29,7 @@ from ..balance.base import Balancer, get_balancer
 from ..errors import ConfigurationError
 from ..kernels.select import SelectMethod
 from ..machine.backends import available_backends
+from ..machine.topology import validate_topology_spec
 from ..selection import ALGORITHMS, SelectionConfig
 from ..selection.fast_randomized import FastRandomizedParams
 
@@ -93,6 +94,14 @@ class SelectionPlan:
         backend (itself defaulting to ``$REPRO_BACKEND`` or threaded).
         Values, RNG streams and simulated times are backend-independent;
         only wall-clock changes.
+    topology:
+        Machine shape the launches' collectives are lowered onto
+        (``"crossbar"``, ``"binomial-tree"``, ``"hypercube"``,
+        ``"two-level"`` or ``"two-level:<cluster_size>"``); ``None``
+        defers to the machine's topology (itself defaulting to
+        ``$REPRO_TOPOLOGY`` or crossbar). Values and RNG streams are
+        topology-independent; simulated time is exactly what the shape
+        changes, so the spec is part of the cache key.
     prefilter:
         ``"sketch"`` localises every target rank with a mergeable quantile
         sketch (one Global Concatenate + one Combine) and runs the exact
@@ -114,6 +123,7 @@ class SelectionPlan:
     fast_params: Optional[FastRandomizedParams] = None
     impl_override: Optional[str] = None
     backend: Optional[str] = None
+    topology: Optional[str] = None
     prefilter: Optional[str] = None
     sketch_eps: float = 0.01
 
@@ -144,6 +154,12 @@ class SelectionPlan:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; "
                 f"available: {sorted(available_backends())}"
+            )
+        if self.topology is not None:
+            # Canonicalise (aliases resolved, cluster size kept) so equal
+            # shapes share one cache-key token.
+            object.__setattr__(
+                self, "topology", validate_topology_spec(self.topology)
             )
         if self.prefilter == "none":
             object.__setattr__(self, "prefilter", None)
@@ -228,6 +244,7 @@ class SelectionPlan:
             fp,
             self.impl_override,
             self.backend,
+            self.topology,
             self.prefilter,
             # sketch_eps only shapes behaviour when the pre-filter is on.
             self.sketch_eps if self.prefilter is not None else None,
@@ -246,7 +263,7 @@ class SelectionPlan:
                  f"seed={self.seed}"]
         for name in ("sequential_method", "endgame_threshold",
                      "max_iterations", "impl_override", "backend",
-                     "prefilter"):
+                     "topology", "prefilter"):
             v = getattr(self, name)
             if v is not None:
                 parts.append(f"{name}={v}")

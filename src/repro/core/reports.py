@@ -90,6 +90,10 @@ class _RunReport:
     #: ``"threaded"`` or ``"process"``; cached reports carry the backend of
     #: the originating launch).
     backend: str = ""
+    #: Name of the machine topology the launch's collectives were lowered
+    #: onto (``"crossbar"``, ``"binomial-tree"``, ``"hypercube"``,
+    #: ``"two-level"``; cached reports carry the originating launch's).
+    topology: str = ""
 
     @property
     def balance_time(self) -> float:
@@ -100,6 +104,16 @@ class _RunReport:
     def prefilter(self) -> Optional[PrefilterStats]:
         """Sketch pre-filter evidence (``None`` for plain runs)."""
         return getattr(getattr(self, "stats", None), "prefilter", None)
+
+    def collective_rounds(self) -> dict:
+        """Per-collective round evidence of the launch, from the trace.
+
+        ``{op: {"calls", "rounds", "max_congestion"}}`` — how many rounds
+        each collective's topology schedule executed and the worst
+        per-round message pile-up on one rank. Requires the machine to
+        run with ``trace=True``; empty otherwise (and for cached reports
+        whose originating launch was untraced)."""
+        return self.result.collective_rounds() if self.result else {}
 
 
 @dataclass

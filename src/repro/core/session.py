@@ -133,6 +133,9 @@ def empty_multi_report(
         stats=MultiSelectionStats(algorithm=plan.algorithm, n=data.n,
                                   p=data.p),
         backend=plan.backend or data.machine.backend_name,
+        # Reports carry the topology *name* (a plan spec may append a
+        # ":<cluster_size>" parameter).
+        topology=(plan.topology or data.machine.topology_name).split(":")[0],
     )
 
 
@@ -158,6 +161,7 @@ def finish_select(
         stats=stats,
         result=result,
         backend=result.backend,
+        topology=result.topology,
     )
 
 
@@ -188,6 +192,7 @@ def finish_multi(
         stats=stats,
         result=result,
         backend=result.backend,
+        topology=result.topology,
     )
 
 
@@ -214,6 +219,7 @@ def execute_select(
         rank_args=[(s,) for s in data.shards],
         args=(k, cfg),
         backend=plan.backend,
+        topology=plan.topology,
     )
     return finish_select(data, k, plan, balancer_name, result)
 
@@ -246,6 +252,7 @@ def execute_multi_select(
         rank_args=[(s,) for s in data.shards],
         args=(unique_ks, cfg),
         backend=plan.backend,
+        topology=plan.topology,
     )
     return finish_multi(data, ks, unique_ks, plan, balancer_name, result)
 
@@ -283,6 +290,7 @@ def per_rank_view(metrics, k: int, value, cached: bool = False) -> SelectionRepo
         result=metrics.result,
         cached=cached,
         backend=metrics.backend,
+        topology=metrics.topology,
     )
 
 
@@ -314,6 +322,7 @@ class _LaunchMetrics:
     stats: MultiSelectionStats
     result: object
     backend: str = ""
+    topology: str = ""
 
     @classmethod
     def from_multi(cls, multi: MultiSelectionReport) -> "_LaunchMetrics":
@@ -322,6 +331,7 @@ class _LaunchMetrics:
             balancer=multi.balancer, simulated_time=multi.simulated_time,
             wall_time=multi.wall_time, breakdown=multi.breakdown,
             stats=multi.stats, result=multi.result, backend=multi.backend,
+            topology=multi.topology,
         )
 
 
@@ -675,6 +685,7 @@ class Session:
             result=metrics.result,
             cached=all_cached,
             backend=metrics.backend,
+            topology=metrics.topology,
         )
 
     # ---------------------------------------------------- immediate queries

@@ -2,10 +2,12 @@
 
 This subpackage is the simulated CM-5: an SPMD launcher (:mod:`.engine`)
 over pluggable execution backends (:mod:`.backends` — ``serial`` /
-``threaded`` / ``process``), the six communication primitives with
-two-level-model costing (:mod:`.collectives`, :mod:`.comm`), logical
-clocks with a compute/comm/balance breakdown (:mod:`.clock`), and the
-calibrated cost model itself (:mod:`.cost_model`).
+``threaded`` / ``process``), the six communication primitives lowered
+onto per-round schedules by pluggable machine shapes (:mod:`.topology` —
+``crossbar`` / ``binomial-tree`` / ``hypercube`` / ``two-level``) via
+:mod:`.collectives` / :mod:`.comm`, logical clocks with a
+compute/comm/balance breakdown (:mod:`.clock`), and the calibrated —
+optionally hierarchical — cost model itself (:mod:`.cost_model`).
 """
 
 from .backends import (
@@ -26,16 +28,29 @@ from .cost_model import (
     CostModel,
     cm5,
     cm5_fast_network,
+    cm5_two_level,
     zero_cost_model,
 )
 from .engine import ProcContext, SPMDResult, SPMDRuntime, run_spmd
 from .topology import (
+    TOPOLOGIES,
+    BinomialTreeTopology,
+    CrossbarTopology,
+    HypercubeTopology,
+    Schedule,
+    Topology,
+    Transfer,
+    TwoLevelTopology,
+    available_topologies,
+    default_topology_spec,
     hypercube_dimensions,
     hypercube_partner,
     hypercube_rounds,
     is_power_of_two,
     log2_ceil,
     next_power_of_two,
+    resolve_topology,
+    validate_topology_spec,
 )
 from .trace import NullTracer, TraceEvent, Tracer
 
@@ -59,17 +74,30 @@ __all__ = [
     "CostModel",
     "cm5",
     "cm5_fast_network",
+    "cm5_two_level",
     "zero_cost_model",
     "ProcContext",
     "SPMDResult",
     "SPMDRuntime",
     "run_spmd",
+    "TOPOLOGIES",
+    "BinomialTreeTopology",
+    "CrossbarTopology",
+    "HypercubeTopology",
+    "Schedule",
+    "Topology",
+    "Transfer",
+    "TwoLevelTopology",
+    "available_topologies",
+    "default_topology_spec",
     "hypercube_dimensions",
     "hypercube_partner",
     "hypercube_rounds",
     "is_power_of_two",
     "log2_ceil",
     "next_power_of_two",
+    "resolve_topology",
+    "validate_topology_spec",
     "NullTracer",
     "TraceEvent",
     "Tracer",

@@ -5,7 +5,11 @@ coarse-grained SPMD machine with the six collectives — so the runtime
 separates *what* a launch is from *how* its ranks are physically driven:
 
 * :class:`Launch` — one validated SPMD launch: the program, the per-rank
-  arguments, the cost model, the tracer. Backend-agnostic.
+  arguments, the cost model, the topology, the tracer. Backend-agnostic,
+  and the **single** validation point for launch shape (rank counts,
+  per-rank argument lists, topology resolution): every entry path —
+  ``SPMDRuntime.run``, ``run_spmd``, a backend driven directly — goes
+  through ``Launch.__post_init__``, so no check is duplicated anywhere.
 * :class:`ProcContext` — everything one rank sees: identity, communicator,
   logical clock, cost model. Identical on every backend, which is what
   makes the cross-backend differential tests meaningful.
@@ -29,22 +33,42 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from ...errors import WorkerAborted, WorkerError
+from ...errors import ConfigurationError, WorkerAborted, WorkerError
 from ..channels import MessageBoard
 from ..clock import Category, LogicalClock, TimeBreakdown
 from ..collectives import CollectiveEngine
 from ..comm import Comm
 from ..cost_model import CostModel
+from ..topology import Topology, resolve_topology
 from ..trace import NullTracer, Tracer
 
 __all__ = [
+    "MAX_RANKS",
     "ExecutionBackend",
     "Launch",
     "ProcContext",
     "SPMDResult",
     "raise_worker_failures",
     "run_single_rank",
+    "validate_n_procs",
 ]
+
+#: Hard rank-count ceiling to protect CI boxes; the paper's largest
+#: machine is 128. Shared by the runtime facade and Launch validation.
+MAX_RANKS = 1024
+
+
+def validate_n_procs(n_procs) -> int:
+    """The one rank-count check every launch path shares."""
+    if not isinstance(n_procs, int) or isinstance(n_procs, bool) or n_procs < 1:
+        raise ConfigurationError(
+            f"n_procs must be a positive integer, got {n_procs!r}"
+        )
+    if n_procs > MAX_RANKS:
+        raise ConfigurationError(
+            f"n_procs={n_procs} exceeds MAX_RANKS={MAX_RANKS}"
+        )
+    return n_procs
 
 
 @dataclass
@@ -86,6 +110,8 @@ class SPMDResult:
         Real seconds the simulation took (not the simulated metric).
     backend:
         Name of the execution backend that ran the launch.
+    topology:
+        Name of the machine topology the collectives were lowered onto.
     """
 
     values: list[Any]
@@ -94,6 +120,7 @@ class SPMDResult:
     wall_time: float
     tracer: Tracer | NullTracer = field(default_factory=NullTracer)
     backend: str = "threaded"
+    topology: str = "crossbar"
 
     @property
     def simulated_time(self) -> float:
@@ -113,10 +140,36 @@ class SPMDResult:
         """Max across ranks of time attributed to load balancing."""
         return max((b.balance for b in self.breakdowns), default=0.0)
 
+    def collective_rounds(self, rank: int = 0) -> dict[str, dict]:
+        """Per-collective round evidence from the trace (one rank's view).
+
+        Returns ``{op: {"calls", "rounds", "max_congestion"}}`` — how many
+        times the op ran, the total schedule rounds it executed, and the
+        worst per-round transfer pile-up on a single rank. Empty when the
+        launch ran without tracing; any rank gives the same answer (strict
+        SPMD discipline), so rank 0 is read by default.
+        """
+        summary: dict[str, dict] = {}
+        for e in self.tracer.events(rank=rank):
+            row = summary.setdefault(
+                e.op, {"calls": 0, "rounds": 0, "max_congestion": 0}
+            )
+            row["calls"] += 1
+            row["rounds"] += e.rounds
+            row["max_congestion"] = max(row["max_congestion"], e.congestion)
+        return summary
+
 
 @dataclass
 class Launch:
-    """One validated SPMD launch, independent of the execution vehicle."""
+    """One validated SPMD launch, independent of the execution vehicle.
+
+    ``__post_init__`` is the single validation/normalisation point every
+    launch path shares: the rank count, the per-rank argument shape, and
+    the topology (a spec string, ``None`` for the ``REPRO_TOPOLOGY``/
+    crossbar default, or a ready :class:`~repro.machine.topology.Topology`)
+    are checked here once, so backends can trust every field.
+    """
 
     fn: Callable[..., Any]
     n_procs: int
@@ -126,6 +179,16 @@ class Launch:
     kwargs: dict = field(default_factory=dict)
     tracer: Tracer | NullTracer = field(default_factory=NullTracer)
     join_timeout: float = 120.0
+    topology: Topology | str | None = None
+
+    def __post_init__(self) -> None:
+        validate_n_procs(self.n_procs)
+        if self.rank_args is not None and len(self.rank_args) != self.n_procs:
+            raise ConfigurationError(
+                f"rank_args must have one entry per rank ({self.n_procs}), "
+                f"got {len(self.rank_args)}"
+            )
+        self.topology = resolve_topology(self.topology, self.n_procs)
 
     def call(self, ctx: ProcContext) -> Any:
         """Run the program body for ``ctx.rank``."""
@@ -184,7 +247,9 @@ def run_single_rank(launch: Launch, backend_name: str) -> SPMDResult:
     the calling thread — the historical behaviour of the monolithic
     runtime, preserved bit-for-bit.
     """
-    engine = CollectiveEngine(1, launch.cost_model, launch.tracer)
+    engine = CollectiveEngine(
+        1, launch.cost_model, launch.tracer, topology=launch.topology
+    )
     board = MessageBoard(1)
     clock = LogicalClock()
     ctx = ProcContext(
@@ -210,4 +275,5 @@ def run_single_rank(launch: Launch, backend_name: str) -> SPMDResult:
         wall_time=wall,
         tracer=launch.tracer,
         backend=backend_name,
+        topology=launch.topology.name,
     )

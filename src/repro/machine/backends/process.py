@@ -310,7 +310,8 @@ def _child_main(launch: Launch, rank: int, shared_rank_args, inboxes,
     tracer = Tracer() if launch.tracer.enabled else NullTracer()
     clock = LogicalClock()
     engine = CollectiveEngine(
-        p, launch.cost_model, tracer, rendezvous=_QueueRendezvous(transport)
+        p, launch.cost_model, tracer, rendezvous=_QueueRendezvous(transport),
+        topology=launch.topology,
     )
     board = _ProcessBoard(transport)
     ctx = ProcContext(
@@ -442,4 +443,5 @@ class ProcessBackend(ExecutionBackend):
             wall_time=wall,
             tracer=launch.tracer,
             backend=self.name,
+            topology=launch.topology.name,
         )

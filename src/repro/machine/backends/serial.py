@@ -215,6 +215,7 @@ class SerialBackend(ExecutionBackend):
             rendezvous=SharedRendezvous(
                 p, barrier=_CooperativeBarrier(scheduler, p)
             ),
+            topology=launch.topology,
         )
         board = MessageBoard(
             p, mailbox_factory=lambda r: _CooperativeMailbox(r, scheduler)
@@ -274,4 +275,5 @@ class SerialBackend(ExecutionBackend):
             wall_time=wall,
             tracer=launch.tracer,
             backend=self.name,
+            topology=launch.topology.name,
         )

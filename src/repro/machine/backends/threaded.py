@@ -44,7 +44,9 @@ class ThreadedBackend(ExecutionBackend):
         p = launch.n_procs
         if p == 1:
             return run_single_rank(launch, self.name)
-        engine = CollectiveEngine(p, launch.cost_model, launch.tracer)
+        engine = CollectiveEngine(
+            p, launch.cost_model, launch.tracer, topology=launch.topology
+        )
         board = MessageBoard(p)
         clocks = [LogicalClock() for _ in range(p)]
         results: list[Any] = [None] * p
@@ -102,4 +104,5 @@ class ThreadedBackend(ExecutionBackend):
             wall_time=wall,
             tracer=launch.tracer,
             backend=self.name,
+            topology=launch.topology.name,
         )

@@ -1,13 +1,15 @@
-"""The six parallel primitives of paper Section 2.2, with their stated costs.
+"""The six parallel primitives of paper Section 2.2, lowered onto rounds.
 
 Functionally, each collective is implemented over a shared rendezvous board
 (deposit per-rank value -> barrier -> read -> barrier), which is exactly what
-a virtual crossbar permits. *Temporally*, each collective advances every
-participant's logical clock by the cost formula the paper states for the
-tree/hypercube algorithm that a real coarse-grained machine would run:
+a virtual crossbar permits. *Temporally*, each collective is **lowered** by
+the machine's :class:`~repro.machine.topology.Topology` into an explicit
+schedule of per-round point-to-point transfers, and the clock advances by
+that schedule's price. On the default ``crossbar`` topology the schedule
+cost keeps the paper's closed forms, bit-for-bit:
 
 ===================  =====================================================
-Primitive            Simulated cost (p ranks, m words payload per rank)
+Primitive            Crossbar cost (p ranks, m words payload per rank)
 ===================  =====================================================
 Broadcast            ``(tau + mu*m) * ceil(log2 p)``
 Combine              ``(tau + mu*m) * ceil(log2 p)``
@@ -19,6 +21,12 @@ Transportation       ``tau * max_msgs + 2 * mu * t``,
 Pairwise exchange    per round: ``max over pairs of (tau + mu * max(m_ab,
 (dimension rounds)   m_ba))`` — the p/2 pairs communicate in parallel
 ===================  =====================================================
+
+On the other shapes (``binomial-tree``, ``hypercube``, ``two-level``) the
+cost is the sum over schedule rounds of the slowest transfer in each round
+— values are identical (they meet on the rendezvous board either way), but
+simulated time genuinely distinguishes machine shapes, and the trace
+records each collective's round count and congestion.
 
 Every collective synchronises clocks (``t_i <- max_j t_j + cost``): the
 algorithms in the paper are bulk-synchronous, and the analysis charges each
@@ -42,14 +50,16 @@ every execution backend shares the cost/semantics logic above it:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
 
-from ..errors import RankMismatchError
+from ..errors import ConfigurationError, RankMismatchError
 from .barrier import AbortableBarrier
 from .clock import Category, LogicalClock
 from .cost_model import CostModel
+from .topology import CrossbarTopology, Schedule, Topology
 from .trace import NullTracer, TraceEvent
 
 __all__ = [
@@ -70,13 +80,28 @@ def payload_words(obj: Any) -> float:
     Structured payloads (e.g. the quantile sketches of
     :mod:`repro.stream.sketch`) size themselves via a ``__sim_words__``
     method — the collective cost formulas then charge their true footprint
-    instead of the one-word exotic-payload fallback.
+    instead of the one-word exotic-payload fallback. A sizer that returns
+    anything other than a finite non-negative number is a
+    :class:`~repro.errors.ConfigurationError`: silently mispricing a
+    transfer would corrupt every simulated time downstream of it.
     """
     if obj is None:
         return 0.0
     sizer = getattr(obj, "__sim_words__", None)
     if sizer is not None:
-        return float(sizer())
+        try:
+            words = float(sizer())
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"{type(obj).__name__}.__sim_words__() must return a number, "
+                f"got a non-numeric value ({exc})"
+            ) from exc
+        if not math.isfinite(words) or words < 0:
+            raise ConfigurationError(
+                f"{type(obj).__name__}.__sim_words__() must return a finite "
+                f"non-negative word count, got {words!r}"
+            )
+        return words
     if isinstance(obj, np.ndarray):
         return obj.size * obj.itemsize / 8.0
     if isinstance(obj, (bytes, bytearray, memoryview)):
@@ -146,11 +171,14 @@ class CollectiveEngine:
 
     All execution backends share this class; only the injected
     :class:`Rendezvous` differs, which is why simulated times are
-    bit-identical across backends.
+    bit-identical across backends. The injected
+    :class:`~repro.machine.topology.Topology` (crossbar when omitted)
+    lowers every primitive to its round schedule and prices it.
     """
 
     def __init__(
-        self, n_ranks: int, model: CostModel, tracer=None, rendezvous=None
+        self, n_ranks: int, model: CostModel, tracer=None, rendezvous=None,
+        topology: Topology | None = None,
     ):
         self.n_ranks = n_ranks
         self.model = model
@@ -158,9 +186,27 @@ class CollectiveEngine:
         self.rendezvous: Rendezvous = (
             rendezvous if rendezvous is not None else SharedRendezvous(n_ranks)
         )
+        self.topology: Topology = (
+            topology if topology is not None else CrossbarTopology(n_ranks)
+        )
         #: Barrier of the shared rendezvous (None for message-passing ones);
         #: kept as an attribute for the runtime's abort path and tests.
         self.barrier = getattr(self.rendezvous, "barrier", None)
+        # Schedules are pure functions of (op, shape arguments) and every
+        # rank of a collective lowers the same one, so memoise them: the
+        # first rank builds, the rest (and later identical calls) reuse.
+        # Immutable values + GIL make the unlocked dict race-free (a lost
+        # race just rebuilds the same schedule).
+        self._sched_cache: dict = {}
+
+    def _lower(self, key: tuple, build) -> Schedule:
+        sched = self._sched_cache.get(key)
+        if sched is None:
+            sched = build()
+            if len(self._sched_cache) >= 256:
+                self._sched_cache.clear()
+            self._sched_cache[key] = sched
+        return sched
 
     # ------------------------------------------------------------------ core
 
@@ -192,12 +238,11 @@ class CollectiveEngine:
         clock: LogicalClock,
         t_start: float,
         tmax: float,
-        cost: float,
+        sched: Schedule,
         words: float,
         category: Category,
-        detail: str = "",
     ) -> None:
-        clock.sync_to(tmax + cost, category)
+        clock.sync_to(tmax + sched.cost, category)
         if self.tracer.enabled:
             self.tracer.record(
                 TraceEvent(
@@ -206,12 +251,12 @@ class CollectiveEngine:
                     words=words,
                     t_start=t_start,
                     t_end=clock.now,
-                    detail=detail,
+                    detail=sched.detail,
+                    rounds=sched.n_rounds,
+                    congestion=sched.congestion,
+                    round_times=sched.round_costs,
                 )
             )
-
-    def _log_rounds(self) -> int:
-        return self.model.log2p(self.n_ranks)
 
     # ------------------------------------------------------------- primitives
 
@@ -223,8 +268,11 @@ class CollectiveEngine:
         values, tmax = self._rendezvous(rank, f"broadcast@{root}", value, clock)
         result = values[root]
         m = payload_words(result)
-        cost = (self.model.tau + self.model.mu * m) * self._log_rounds()
-        self._finish(rank, "broadcast", clock, t0, tmax, cost, m, category)
+        sched = self._lower(
+            ("broadcast", root, m),
+            lambda: self.topology.broadcast_schedule(self.model, root, m),
+        )
+        self._finish(rank, "broadcast", clock, t0, tmax, sched, m, category)
         return result
 
     def combine(
@@ -243,8 +291,11 @@ class CollectiveEngine:
         for v in values[1:]:
             acc = op(acc, v)
         m = payload_words(value)
-        cost = (self.model.tau + self.model.mu * m) * self._log_rounds()
-        self._finish(rank, "combine", clock, t0, tmax, cost, m, category)
+        sched = self._lower(
+            ("combine", m),
+            lambda: self.topology.combine_schedule(self.model, m),
+        )
+        self._finish(rank, "combine", clock, t0, tmax, sched, m, category)
         return acc
 
     def prefix(
@@ -281,8 +332,11 @@ class CollectiveEngine:
                 prefixes.append(acc)
             result = prefixes[rank]
         m = payload_words(value)
-        cost = (self.model.tau + self.model.mu * m) * self._log_rounds()
-        self._finish(rank, "prefix", clock, t0, tmax, cost, m, category)
+        sched = self._lower(
+            ("prefix", m),
+            lambda: self.topology.prefix_schedule(self.model, m),
+        )
+        self._finish(rank, "prefix", clock, t0, tmax, sched, m, category)
         return result
 
     def gather(
@@ -292,10 +346,11 @@ class CollectiveEngine:
         t0 = clock.now
         values, tmax = self._rendezvous(rank, f"gather@{root}", value, clock)
         m = max(payload_words(v) for v in values)
-        cost = self.model.tau * self._log_rounds() + self.model.mu * m * (
-            self.n_ranks - 1
+        sched = self._lower(
+            ("gather", root, m),
+            lambda: self.topology.gather_schedule(self.model, root, m),
         )
-        self._finish(rank, "gather", clock, t0, tmax, cost, m, category)
+        self._finish(rank, "gather", clock, t0, tmax, sched, m, category)
         return list(values) if rank == root else None
 
     def allgather(
@@ -305,10 +360,11 @@ class CollectiveEngine:
         t0 = clock.now
         values, tmax = self._rendezvous(rank, "allgather", value, clock)
         m = max(payload_words(v) for v in values)
-        cost = self.model.tau * self._log_rounds() + self.model.mu * m * (
-            self.n_ranks - 1
+        sched = self._lower(
+            ("allgather", m),
+            lambda: self.topology.allgather_schedule(self.model, m),
         )
-        self._finish(rank, "allgather", clock, t0, tmax, cost, m, category)
+        self._finish(rank, "allgather", clock, t0, tmax, sched, m, category)
         return list(values)
 
     def alltoallv(
@@ -322,8 +378,9 @@ class CollectiveEngine:
 
         ``sends[d]`` is this rank's payload for rank ``d`` (``None`` for no
         message). Returns the list of payloads received, indexed by source.
-        Cost: ``tau * max_i(#outgoing messages_i) + 2 * mu * t`` with ``t``
-        the maximum over ranks of max(outgoing words, incoming words).
+        The topology prices the routed traffic; the crossbar keeps the
+        ``tau * max_msgs + 2 * mu * t`` closed form with ``t`` the maximum
+        over ranks of max(outgoing words, incoming words).
         """
         if len(sends) != self.n_ranks:
             raise RankMismatchError(
@@ -333,42 +390,34 @@ class CollectiveEngine:
         t0 = clock.now
         matrix, tmax = self._rendezvous(rank, "alltoallv", list(sends), clock)
         received = [matrix[src][rank] for src in range(self.n_ranks)]
-        out_words = [
-            sum(payload_words(x) for x in row if x is not None) for row in matrix
+        words = [
+            [None if x is None else payload_words(x) for x in row]
+            for row in matrix
+        ]
+        sched = self._lower(
+            ("alltoallv", tuple(tuple(row) for row in words)),
+            lambda: self.topology.alltoallv_schedule(self.model, words),
+        )
+        # Traced words: the max per-rank traffic the [20] formula charges
+        # (self-sends are local copies and excluded), in the historical
+        # expression order so traces stay bit-identical too.
+        out_words = [sum(w for w in row if w is not None) for row in words]
+        out_net = [
+            out_words[i] - (words[i][i] if words[i][i] is not None else 0.0)
+            for i in range(self.n_ranks)
         ]
         in_words = [
             sum(
-                payload_words(matrix[src][dst])
+                words[src][dst]
                 for src in range(self.n_ranks)
-                if src != dst and matrix[src][dst] is not None
+                if src != dst and words[src][dst] is not None
             )
             for dst in range(self.n_ranks)
-        ]
-        # Self-sends are local copies: exclude them from traffic.
-        out_net = [
-            out_words[i]
-            - (payload_words(matrix[i][i]) if matrix[i][i] is not None else 0.0)
-            for i in range(self.n_ranks)
         ]
         t = max(
             max(o, i_) for o, i_ in zip(out_net, in_words)
         ) if self.n_ranks else 0.0
-        max_msgs = max(
-            sum(1 for d, x in enumerate(row) if x is not None and d != i)
-            for i, row in enumerate(matrix)
-        )
-        cost = self.model.tau * max_msgs + 2.0 * self.model.mu * t
-        self._finish(
-            rank,
-            "alltoallv",
-            clock,
-            t0,
-            tmax,
-            cost,
-            t,
-            category,
-            detail=f"max_msgs={max_msgs}",
-        )
+        self._finish(rank, "alltoallv", clock, t0, tmax, sched, t, category)
         return received
 
     def pairwise_exchange(
@@ -382,17 +431,18 @@ class CollectiveEngine:
         """One hypercube round: disjoint pairs swap payloads in parallel.
 
         Collective over *all* ranks (ranks without a live partner pass
-        ``partner=None`` and receive ``None``). The round costs every rank
-        ``max over pairs of (tau + mu * max(payload words))`` — the pairs are
-        simultaneous, so the slowest pair paces the machine, mirroring the
-        paper's Section 4.2 analysis.
+        ``partner=None`` and receive ``None``). On every flat topology the
+        round costs every rank ``max over pairs of (tau + mu * max(payload
+        words))`` — the pairs are simultaneous, so the slowest pair paces
+        the machine, mirroring the paper's Section 4.2 analysis; pairs that
+        cross a cluster boundary on the two-level shape pay the inter link.
         """
         t0 = clock.now
         values, tmax = self._rendezvous(
             rank, "pairwise_exchange", (partner, payload), clock
         )
-        # Validate pairing and compute the round's cost once per rank.
-        pair_cost = 0.0
+        # Validate pairing and collect the round's pair traffic once per rank.
+        pairs: list[tuple[int, int, float, float]] = []
         for r, (pr, pl) in enumerate(values):
             if pr is None or pr < r:
                 continue
@@ -403,8 +453,11 @@ class CollectiveEngine:
                     f"pairwise_exchange: rank {r} paired with {pr} but rank "
                     f"{pr} paired with {back}"
                 )
-            w = max(payload_words(pl), payload_words(their))
-            pair_cost = max(pair_cost, self.model.tau + self.model.mu * w)
+            pairs.append((r, pr, payload_words(pl), payload_words(their)))
+        sched = self._lower(
+            ("pairwise", tuple(pairs)),
+            lambda: self.topology.pairwise_schedule(self.model, pairs),
+        )
         result = values[partner][1] if partner is not None else None
         self._finish(
             rank,
@@ -412,7 +465,7 @@ class CollectiveEngine:
             clock,
             t0,
             tmax,
-            pair_cost,
+            sched,
             payload_words(payload),
             category,
         )
@@ -422,5 +475,8 @@ class CollectiveEngine:
         """Pure synchronisation: clocks meet at the max plus one combine."""
         t0 = clock.now
         _, tmax = self._rendezvous(rank, "barrier", None, clock)
-        cost = (self.model.tau + self.model.mu) * self._log_rounds()
-        self._finish(rank, "barrier", clock, t0, tmax, cost, 0.0, category)
+        sched = self._lower(
+            ("barrier",),
+            lambda: self.topology.barrier_schedule(self.model),
+        )
+        self._finish(rank, "barrier", clock, t0, tmax, sched, 0.0, category)

@@ -9,8 +9,14 @@ timing in this library — happens in that model.
 Two ingredient tables live here:
 
 * **Communication**: ``tau`` (message start-up, seconds) and ``mu`` (seconds
-  per 8-byte word). The collective cost formulas themselves live in
-  :mod:`repro.machine.collectives`; they only consume ``tau``/``mu``.
+  per 8-byte word). The collective *schedules* — which point-to-point
+  transfers happen in which round — live in :mod:`repro.machine.topology`;
+  the lowering in :mod:`repro.machine.collectives` prices each round with
+  these link constants. A **hierarchical** machine (the ``two-level``
+  topology: clusters of ranks behind a slower global switch) may carry a
+  second link class: ``tau_inter``/``mu_inter`` price transfers that cross
+  a cluster boundary, and default to the flat ``tau``/``mu`` when unset, so
+  every pre-hierarchy cost model keeps meaning exactly what it did.
 * **Computation**: per-element costs for the sequential kernels the selection
   algorithms lean on (partitioning a list, deterministic selection, randomized
   selection, sorting, bucket preprocessing...). These are the constants the
@@ -38,6 +44,7 @@ __all__ = [
     "CM5",
     "cm5",
     "cm5_fast_network",
+    "cm5_two_level",
     "zero_cost_model",
 ]
 
@@ -119,18 +126,36 @@ class CostModel:
         Per-kernel local computation costs, see :class:`ComputeCosts`.
     name:
         Human-readable preset name used in reports.
+    tau_inter / mu_inter:
+        Hierarchical extension: start-up and per-word cost of a link that
+        crosses a cluster boundary on the ``two-level`` topology. ``None``
+        (the default) means the machine is flat — inter-cluster links cost
+        the same ``tau``/``mu`` as everything else — which keeps every
+        existing cost model byte-compatible with its pre-hierarchy
+        behaviour. Topologies without a cluster structure never consult
+        these fields.
     """
 
     tau: float = 100e-6
     mu: float = 0.8e-6
     compute: ComputeCosts = field(default_factory=ComputeCosts)
     name: str = "custom"
+    tau_inter: float | None = None
+    mu_inter: float | None = None
 
     def __post_init__(self) -> None:
         if not (math.isfinite(self.tau) and self.tau >= 0):
             raise ConfigurationError(f"tau must be finite and >= 0, got {self.tau!r}")
         if not (math.isfinite(self.mu) and self.mu >= 0):
             raise ConfigurationError(f"mu must be finite and >= 0, got {self.mu!r}")
+        for fname in ("tau_inter", "mu_inter"):
+            v = getattr(self, fname)
+            if v is not None and not (
+                isinstance(v, (int, float)) and math.isfinite(v) and v >= 0
+            ):
+                raise ConfigurationError(
+                    f"{fname} must be None or a finite number >= 0, got {v!r}"
+                )
         self.compute.validate()
 
     # -- communication cost formulas shared by several collectives ---------
@@ -138,6 +163,21 @@ class CostModel:
     def msg_time(self, words: float) -> float:
         """Time for one point-to-point message of ``words`` 8-byte words."""
         return self.tau + self.mu * max(0.0, words)
+
+    def link(self, inter: bool = False) -> tuple[float, float]:
+        """``(tau, mu)`` of one link class.
+
+        ``inter=True`` selects the inter-cluster link of a hierarchical
+        machine; on a flat model (``tau_inter``/``mu_inter`` unset) both
+        classes are the same link, so topologies can price transfers
+        uniformly without caring whether the model is hierarchical.
+        """
+        if not inter:
+            return self.tau, self.mu
+        return (
+            self.tau if self.tau_inter is None else self.tau_inter,
+            self.mu if self.mu_inter is None else self.mu_inter,
+        )
 
     def log2p(self, p: int) -> int:
         """``ceil(log2 p)`` with the convention ``log2p(1) == 0``."""
@@ -194,6 +234,23 @@ def cm5_fast_network() -> CostModel:
         rng_draw=base.rng_draw * 2,
     )
     return CostModel(tau=100e-6, mu=0.25e-6, compute=doubled, name="CM5-fastnet")
+
+
+def cm5_two_level(tau_factor: float = 4.0, mu_factor: float = 8.0) -> CostModel:
+    """A hierarchical CM-5-like preset for the ``two-level`` topology.
+
+    Intra-cluster links keep the calibrated ``CM5`` constants; links that
+    cross a cluster boundary pay ``tau_factor`` times the start-up and
+    ``mu_factor`` times the per-word cost — the usual shape of a cluster
+    of SMP-ish nodes behind a slower global switch. On every topology
+    without a cluster structure this model behaves exactly like ``CM5``.
+    """
+    base = cm5()
+    return base.replace(
+        tau_inter=base.tau * tau_factor,
+        mu_inter=base.mu * mu_factor,
+        name="CM5-2level",
+    )
 
 
 def zero_cost_model() -> CostModel:

@@ -1,7 +1,10 @@
-"""The SPMD runtime: run one function on ``p`` simulated processors.
+"""The SPMD runtime facade: run one function on ``p`` simulated processors.
 
-A *program* is any callable ``fn(ctx, *args) -> value``. The runtime
-validates the launch, counts it, and hands it to an **execution backend**
+A *program* is any callable ``fn(ctx, *args) -> value``. The runtime is a
+thin public facade: it remembers the machine configuration (rank count,
+cost model, topology, default backend), counts launches, and assembles a
+:class:`~repro.machine.backends.base.Launch` — which is where ALL launch
+validation lives, once — before handing it to an **execution backend**
 (:mod:`repro.machine.backends`): ``serial`` (deterministic cooperative
 round-robin — CI and debugging), ``threaded`` (one preemptive OS thread
 per rank — the historical simulator) or ``process`` (one forked process
@@ -10,12 +13,17 @@ backend drives the same :class:`ProcContext`/collectives contract and
 charges the same simulated costs, so values, RNG streams and simulated
 times are bit-identical across backends; only wall-clock differs.
 
-The default backend is ``threaded``, overridable per process with the
-``REPRO_BACKEND`` environment variable, per runtime with
-``SPMDRuntime(backend=...)`` / ``Machine(backend=...)``, and per launch
-with ``run(..., backend=...)`` (which is how a
-:class:`~repro.core.plan.SelectionPlan` carries its backend through the
-serving layer).
+Two per-launch strategy axes ride the same plumbing:
+
+* the **backend** (how ranks are physically driven) — ``REPRO_BACKEND``
+  env default, ``SPMDRuntime(backend=...)`` / ``Machine(backend=...)``,
+  or per launch ``run(..., backend=...)``;
+* the **topology** (which machine shape the collectives are lowered
+  onto; :mod:`repro.machine.topology`) — ``REPRO_TOPOLOGY`` env default,
+  ``SPMDRuntime(topology=...)`` / ``Machine(topology=...)``, or per
+  launch ``run(..., topology=...)`` (which is how a
+  :class:`~repro.core.plan.SelectionPlan` carries both through the
+  serving layer). Values are topology-independent; simulated time is not.
 
 Failure semantics (all backends): the first rank to raise aborts the
 rendezvous and all mailboxes; sibling ranks unwind with ``WorkerAborted``;
@@ -27,20 +35,27 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from ..errors import ConfigurationError
 from .backends import resolve_backend
-from .backends.base import Launch, ProcContext, SPMDResult
+from .backends.base import (
+    MAX_RANKS,
+    Launch,
+    ProcContext,
+    SPMDResult,
+    validate_n_procs,
+)
 from .cost_model import CM5, CostModel
+from .topology import Topology, resolve_topology
 from .trace import NullTracer, Tracer
 
 __all__ = ["ProcContext", "SPMDResult", "SPMDRuntime", "run_spmd"]
 
 
 class SPMDRuntime:
-    """Reusable launcher for SPMD programs on a fixed (p, cost-model) pair."""
+    """Reusable launcher for SPMD programs on one (p, cost-model, shape)."""
 
-    #: Hard ceiling to protect CI boxes; the paper's largest machine is 128.
-    MAX_RANKS = 1024
+    #: Re-exported launch ceiling (the check itself lives with Launch
+    #: validation in :mod:`repro.machine.backends.base`).
+    MAX_RANKS = MAX_RANKS
 
     def __init__(
         self,
@@ -49,22 +64,18 @@ class SPMDRuntime:
         trace: bool = False,
         join_timeout: float = 120.0,
         backend=None,
+        topology=None,
     ):
-        if not isinstance(n_procs, int) or n_procs < 1:
-            raise ConfigurationError(
-                f"n_procs must be a positive integer, got {n_procs!r}"
-            )
-        if n_procs > self.MAX_RANKS:
-            raise ConfigurationError(
-                f"n_procs={n_procs} exceeds MAX_RANKS={self.MAX_RANKS}"
-            )
-        self.n_procs = n_procs
+        self.n_procs = validate_n_procs(n_procs)
         self.cost_model = cost_model if cost_model is not None else CM5
         self.trace = trace
         self.join_timeout = join_timeout
         #: The runtime's default execution backend (name, instance or None
         #: for the ``REPRO_BACKEND``/threaded default).
         self.backend = resolve_backend(backend)
+        #: The runtime's default machine shape (spec string, Topology
+        #: instance or None for the ``REPRO_TOPOLOGY``/crossbar default).
+        self.topology: Topology = resolve_topology(topology, self.n_procs)
         #: SPMD launches executed so far (the serving layer's cost unit:
         #: Session coalescing and caching are asserted against this).
         self.launch_count = 0
@@ -76,32 +87,29 @@ class SPMDRuntime:
         args: Sequence[Any] = (),
         kwargs: dict | None = None,
         backend=None,
+        topology=None,
     ) -> SPMDResult:
         """Execute ``fn(ctx, *rank_args[r], *args, **kwargs)`` on every rank.
 
         ``rank_args`` supplies per-rank positional arguments (e.g. each
         rank's data shard); ``args``/``kwargs`` are shared by all ranks.
-        ``backend`` overrides the runtime's execution backend for this
-        launch only.
+        ``backend`` and ``topology`` override the runtime's defaults for
+        this launch only; all launch validation happens inside
+        :class:`~repro.machine.backends.base.Launch`.
         """
-        p = self.n_procs
-        if rank_args is not None and len(rank_args) != p:
-            raise ConfigurationError(
-                f"rank_args must have one entry per rank ({p}), "
-                f"got {len(rank_args)}"
-            )
         chosen = self.backend if backend is None else resolve_backend(backend)
-        self.launch_count += 1
         launch = Launch(
             fn=fn,
-            n_procs=p,
+            n_procs=self.n_procs,
             cost_model=self.cost_model,
             rank_args=rank_args,
             args=tuple(args),
             kwargs=kwargs or {},
             tracer=Tracer() if self.trace else NullTracer(),
             join_timeout=self.join_timeout,
+            topology=self.topology if topology is None else topology,
         )
+        self.launch_count += 1
         return chosen.execute(launch)
 
 
@@ -114,8 +122,10 @@ def run_spmd(
     args: Sequence[Any] = (),
     kwargs: dict | None = None,
     backend=None,
+    topology=None,
 ) -> SPMDResult:
     """One-shot convenience wrapper around :class:`SPMDRuntime`."""
     return SPMDRuntime(
-        n_procs, cost_model=cost_model, trace=trace, backend=backend
+        n_procs, cost_model=cost_model, trace=trace, backend=backend,
+        topology=topology,
     ).run(fn, rank_args=rank_args, args=args, kwargs=kwargs)

@@ -6,6 +6,12 @@ make two things cheap: debugging distributed control flow, and unit-testing
 that an algorithm issued exactly the primitives the paper's pseudocode says
 it should (e.g. Algorithm 3 does one prefix-sum, one broadcast and one
 combine per iteration).
+
+Since collectives are lowered onto explicit round schedules
+(:mod:`repro.machine.topology`), every event also records the rounds the
+schedule ran: ``rounds`` (how many), ``congestion`` (max transfers one
+rank serialised in a round) and ``round_times`` (the simulated seconds of
+each round) — the per-round evidence reports summarise per collective.
 """
 
 from __future__ import annotations
@@ -26,6 +32,13 @@ class TraceEvent:
     t_start: float
     t_end: float
     detail: str = ""
+    #: Rounds the lowered schedule executed (0 for a free p=1 collective).
+    rounds: int = 0
+    #: Max transfers incident on one rank within one schedule round.
+    congestion: int = 0
+    #: Per-round simulated seconds of the schedule (crossbar totals keep
+    #: the closed-form price; see Schedule.cost).
+    round_times: tuple = ()
 
     @property
     def duration(self) -> float:
@@ -87,6 +100,8 @@ class TraceSummary:
     counts: dict = field(default_factory=dict)
     words: dict = field(default_factory=dict)
     time: dict = field(default_factory=dict)
+    rounds: dict = field(default_factory=dict)
+    congestion: dict = field(default_factory=dict)
 
     @classmethod
     def from_tracer(cls, tracer: Tracer, rank: int | None = None) -> "TraceSummary":
@@ -95,4 +110,6 @@ class TraceSummary:
             s.counts[e.op] = s.counts.get(e.op, 0) + 1
             s.words[e.op] = s.words.get(e.op, 0.0) + e.words
             s.time[e.op] = s.time.get(e.op, 0.0) + e.duration
+            s.rounds[e.op] = s.rounds.get(e.op, 0) + e.rounds
+            s.congestion[e.op] = max(s.congestion.get(e.op, 0), e.congestion)
         return s

@@ -226,6 +226,7 @@ def execute_sketch_select(
         rank_args=[(s, sk) for s, sk in zip(data.shards, prebuilt)],
         args=(k, cfg),
         backend=plan.backend,
+        topology=plan.topology,
     )
     return core_session.finish_select(data, k, plan, balancer_name, result)
 
@@ -277,6 +278,7 @@ def execute_sketch_multi_select(
         rank_args=[(s, sk) for s, sk in zip(data.shards, prebuilt)],
         args=(unique_ks, cfg),
         backend=plan.backend,
+        topology=plan.topology,
     )
     return core_session.finish_multi(
         data, ks, unique_ks, plan, balancer_name, result

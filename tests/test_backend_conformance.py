@@ -22,14 +22,16 @@ N = 1500
 DISTRIBUTIONS = ["random", "sorted", "few_distinct", "skewed_shards"]
 
 
-def _run_select(backend, algorithm, distribution, n=N, seed=2):
-    machine = repro.Machine(n_procs=P, backend=backend)
+def _run_select(backend, algorithm, distribution, n=N, seed=2,
+                topology=None):
+    machine = repro.Machine(n_procs=P, backend=backend, topology=topology)
     data = machine.generate(n, distribution=distribution, seed=seed)
     return data.select(max(1, n // 3), algorithm=algorithm, seed=seed)
 
 
-def _run_multi(backend, algorithm, distribution, n=N, seed=2):
-    machine = repro.Machine(n_procs=P, backend=backend)
+def _run_multi(backend, algorithm, distribution, n=N, seed=2,
+               topology=None):
+    machine = repro.Machine(n_procs=P, backend=backend, topology=topology)
     data = machine.generate(n, distribution=distribution, seed=seed)
     ks = [1, n // 4, n // 2, n // 2, (3 * n) // 4, n]
     return data.multi_select(ks, algorithm=algorithm, seed=seed)
@@ -145,3 +147,72 @@ class TestSessionAcrossBackends:
         assert machine.launch_count - before == 2
         assert not b.cached
         assert a.value == b.value
+
+
+TOPOLOGY_GRID = ["binomial-tree", "hypercube", "two-level", "two-level:2"]
+
+
+class TestTopologyConformance:
+    """The machine shape is one more axis the differential bar covers:
+    values are bit-identical to the crossbar on every topology, and the
+    full launch evidence (clocks, breakdowns, pivot streams) is
+    bit-identical between the serial and threaded backends on every
+    topology — the schedules only reprice rounds, deterministically."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGY_GRID)
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_select_values_match_crossbar(self, algorithm, topology):
+        machine = repro.Machine(n_procs=P, topology=topology)
+        data = machine.generate(N, distribution="zipf", seed=4)
+        rep = data.select(N // 3, algorithm=algorithm, seed=4)
+        baseline_machine = repro.Machine(n_procs=P)
+        baseline_data = baseline_machine.generate(
+            N, distribution="zipf", seed=4
+        )
+        base = baseline_data.select(N // 3, algorithm=algorithm, seed=4)
+        assert rep.value == base.value
+        assert rep.topology == topology.split(":")[0]
+        assert base.topology == "crossbar"
+        # Same pivot stream: the RNG draws are untouched by the shape.
+        assert [it.pivot for it in rep.stats.iterations] == [
+            it.pivot for it in base.stats.iterations
+        ]
+
+    @pytest.mark.parametrize("topology", TOPOLOGY_GRID)
+    @pytest.mark.parametrize(
+        "algorithm", ["fast_randomized", "median_of_medians"]
+    )
+    def test_serial_threaded_evidence_identical_per_topology(
+        self, algorithm, topology
+    ):
+        serial = _run_select("serial", algorithm, "random",
+                             topology=topology)
+        threaded = _run_select("threaded", algorithm, "random",
+                               topology=topology)
+        assert serial.value == threaded.value
+        _assert_same_launch_evidence(serial, threaded)
+
+    @pytest.mark.parametrize("topology", TOPOLOGY_GRID)
+    def test_multi_select_values_match_crossbar(self, topology):
+        shaped = _run_multi("threaded", "fast_randomized", "random",
+                            topology=topology)
+        flat = _run_multi("threaded", "fast_randomized", "random")
+        assert shaped.values == flat.values
+
+    def test_process_backend_matches_threaded_on_hypercube(self):
+        proc = _run_select("process", "fast_randomized", "random",
+                           topology="hypercube")
+        threaded = _run_select("threaded", "fast_randomized", "random",
+                               topology="hypercube")
+        assert proc.value == threaded.value
+        _assert_same_launch_evidence(proc, threaded)
+
+    def test_topology_is_part_of_the_cache_identity(self):
+        machine = repro.Machine(n_procs=P)
+        data = machine.generate(N, seed=0)
+        flat = data.select(9)
+        shaped = data.select(9, topology="two-level")
+        assert not shaped.cached  # different plan key, not a cache hit
+        assert flat.value == shaped.value
+        again = data.select(9, topology="two-level")
+        assert again.cached and again.topology == "two-level"

@@ -106,6 +106,40 @@ class TestRunBackendPoint:
             run_backend_point("randomized", 1024, 2, trials=0)
 
 
+class TestRunTopologyPoint:
+    def test_fields_agreement_and_hierarchy(self):
+        from repro.bench.harness import run_topology_point
+
+        pt = run_topology_point("randomized", 4096, 4, trace=True)
+        assert pt.topologies == (
+            "crossbar", "binomial-tree", "hypercube", "two-level"
+        )
+        assert pt.values_agree
+        # Slow inter-cluster links hurt the two-level shape only.
+        assert pt.hierarchical_times["crossbar"] == \
+            pt.simulated_times["crossbar"]
+        assert pt.hierarchical_times["two-level"] > \
+            pt.simulated_times["two-level"]
+        assert pt.slowdown("two-level", hierarchical=True) > 1.0
+        # Traced runs carry per-collective round evidence.
+        assert pt.rounds["hypercube"]
+        rows = pt.as_points()
+        assert any(r.algorithm == "randomized@crossbar" for r in rows)
+        assert any(r.algorithm == "randomized@two-level/hier" for r in rows)
+
+    def test_topology_subset_and_slowdown_guard(self):
+        from repro.bench.harness import run_topology_point
+        from repro.errors import ConfigurationError
+
+        pt = run_topology_point(
+            "fast_randomized", 2048, 2, topologies=("crossbar", "hypercube")
+        )
+        with pytest.raises(ConfigurationError, match="slowdown"):
+            pt.slowdown("two-level")
+        with pytest.raises(ConfigurationError, match="trials"):
+            run_topology_point("randomized", 1024, 2, trials=0)
+
+
 class TestRunSeries:
     def test_sweeps_p(self):
         pts = run_series("randomized", 4096, [2, 4, 8])
@@ -117,7 +151,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
             "ablation-delta", "ablation-partition", "multiselect",
-            "session", "backend", "stream",
+            "session", "backend", "stream", "topology",
         }
 
     def test_scales(self):

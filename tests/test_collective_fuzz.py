@@ -1,5 +1,9 @@
 """Property fuzzing of the collective layer: random programs of mixed
-primitives must match a serial reference model and keep clocks synchronised."""
+primitives must match a serial reference model and keep clocks
+synchronised — and, since collectives are lowered onto topology round
+schedules, every machine shape must return crossbar-identical values,
+charge payload-monotone simulated times, and run the analytic number of
+rounds."""
 
 import operator
 
@@ -7,9 +11,12 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.machine import run_spmd, zero_cost_model
+from repro.machine import available_topologies, run_spmd, zero_cost_model
+from repro.machine.topology import log2_ceil
 
 OPS = ["combine", "prefix", "allgather", "broadcast", "alltoall", "exchange"]
+
+TOPOLOGY_SPECS = sorted(available_topologies()) + ["two-level:2"]
 
 
 def serial_reference(program, p):
@@ -101,3 +108,111 @@ def test_property_clocks_agree_after_synchronising_ops(p, program):
     program = program + [("combine", 0)]
     res = run_spmd(distributed_program(program), p)
     assert len(set(res.clocks)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Topology properties: shapes reprice rounds, they never change answers
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15)
+@given(
+    p=st.integers(1, 6),
+    program=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(0, 7)),
+        min_size=1, max_size=10,
+    ),
+)
+def test_property_every_topology_matches_crossbar_values(p, program):
+    """Random mixed-primitive programs return bit-identical values on
+    every machine shape — topologies only lower costs, the rendezvous
+    semantics are shared."""
+    fn = distributed_program(program)
+    baseline = run_spmd(fn, p, topology="crossbar",
+                        cost_model=zero_cost_model()).values
+    for spec in TOPOLOGY_SPECS:
+        res = run_spmd(fn, p, topology=spec, cost_model=zero_cost_model())
+        assert res.values == baseline, spec
+
+
+def _payload_program(op, words):
+    """One collective moving a ``words``-sized array payload."""
+
+    def prog(ctx):
+        payload = np.zeros(max(1, words))
+        if op == "broadcast":
+            ctx.comm.broadcast(payload if ctx.rank == 0 else None, root=0)
+        elif op == "combine":
+            ctx.comm.combine(payload, lambda a, b: a)
+        elif op == "prefix":
+            ctx.comm.prefix_sum(payload, lambda a, b: a)
+        elif op == "gather":
+            ctx.comm.gather(payload, root=0)
+        elif op == "allgather":
+            ctx.comm.global_concat(payload)
+        elif op == "alltoall":
+            ctx.comm.alltoallv([
+                payload if d != ctx.rank else None for d in range(ctx.size)
+            ])
+        else:  # exchange
+            partner = ctx.rank ^ 1
+            partner = partner if partner < ctx.size else None
+            ctx.comm.pairwise_exchange(
+                partner, payload if partner is not None else None
+            )
+        return ctx.clock.now
+
+    return prog
+
+
+PAYLOAD_OPS = ["broadcast", "combine", "prefix", "gather", "allgather",
+               "alltoall", "exchange"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(2, 6),
+    op=st.sampled_from(PAYLOAD_OPS),
+    spec=st.sampled_from(TOPOLOGY_SPECS),
+    words=st.integers(1, 500),
+    extra=st.integers(1, 500),
+)
+def test_property_simulated_time_monotone_in_payload(p, op, spec, words,
+                                                     extra):
+    """For every collective on every shape, moving more words never gets
+    cheaper: each transfer's price is affine in its words, round maxima
+    and sums preserve the ordering."""
+    small = run_spmd(_payload_program(op, words), p,
+                     topology=spec).simulated_time
+    large = run_spmd(_payload_program(op, words + extra), p,
+                     topology=spec).simulated_time
+    assert large >= small
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=st.integers(2, 16), op=st.sampled_from(
+    ["broadcast", "combine", "prefix", "gather", "allgather"]
+))
+def test_property_round_counts_match_analytic_depth(p, op):
+    """Log-depth collectives run exactly ``ceil(log2 p)`` rounds on the
+    crossbar and the (folded) hypercube, and the binomial tree's up-down
+    sweeps run ``2*ceil(log2 p)`` where the scan both folds and fans."""
+    res = {
+        spec: run_spmd(_payload_program(op, 3), p, topology=spec, trace=True)
+        for spec in ("crossbar", "hypercube", "binomial-tree")
+    }
+    L = log2_ceil(p)
+    expected_flat = {op if op != "alltoall" else "alltoallv": L}
+    for spec in ("crossbar", "hypercube"):
+        rounds = res[spec].collective_rounds()
+        for name, want in expected_flat.items():
+            assert rounds[name]["rounds"] == want, (spec, name)
+    tree_rounds = res["binomial-tree"].collective_rounds()
+    tree_expected = {
+        "broadcast": L,            # rooted at 0: pure fan-out
+        "combine": 2 * L,          # fold up + fan down
+        "prefix": 2 * L,
+        "gather": L,               # rooted at 0: pure fold
+        "allgather": 2 * L,        # fold up + fan the concatenation down
+    }
+    assert tree_rounds[op]["rounds"] == tree_expected[op]

@@ -5,7 +5,7 @@ import operator
 import numpy as np
 import pytest
 
-from repro.errors import RankMismatchError, WorkerError
+from repro.errors import ConfigurationError, RankMismatchError, WorkerError
 from repro.machine import CostModel, payload_words, run_spmd
 from repro.machine.cost_model import ComputeCosts
 
@@ -40,6 +40,53 @@ class TestPayloadWords:
 
     def test_bytes(self):
         assert payload_words(b"x" * 16) == 2.0
+
+    def test_sim_words_sizer_consulted(self):
+        class Sized:
+            def __sim_words__(self):
+                return 7
+
+        assert payload_words(Sized()) == 7.0
+        assert payload_words([Sized(), Sized()]) == 14.0
+
+    @pytest.mark.parametrize("bad", [-1, -0.5, float("nan"), float("inf")])
+    def test_sim_words_rejects_bad_numbers(self, bad):
+        class Sized:
+            def __init__(self, v):
+                self._v = v
+
+            def __sim_words__(self):
+                return self._v
+
+        with pytest.raises(ConfigurationError, match="__sim_words__"):
+            payload_words(Sized(bad))
+
+    @pytest.mark.parametrize("bad", ["ten", None, object(), [1, 2]])
+    def test_sim_words_rejects_non_numeric(self, bad):
+        class Sized:
+            def __init__(self, v):
+                self._v = v
+
+            def __sim_words__(self):
+                return self._v
+
+        with pytest.raises(ConfigurationError, match="__sim_words__"):
+            payload_words(Sized(bad))
+
+    def test_bad_sizer_surfaces_from_inside_a_collective(self):
+        """A mispriced payload aborts the launch with a clear error
+        instead of silently corrupting every simulated time after it."""
+
+        class Sized:
+            def __sim_words__(self):
+                return -3
+
+        def prog(ctx):
+            ctx.comm.combine(Sized(), lambda a, b: a)
+
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(prog, 2)
+        assert isinstance(ei.value.cause, ConfigurationError)
 
 
 class TestSemantics:

@@ -27,4 +27,5 @@ def test_example_runs(script):
 def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "distributed_quantiles", "parallel_sort_pivot",
-            "load_balance_demo", "streaming_ingest"} <= names
+            "load_balance_demo", "streaming_ingest",
+            "topology_compare"} <= names

@@ -41,6 +41,35 @@ class TestValidation:
             assert repro.SelectionPlan(backend=name).backend == name
         assert repro.SelectionPlan(backend=None).backend is None
 
+    def test_unknown_topology_names_options(self):
+        from repro.machine import available_topologies
+
+        with pytest.raises(ConfigurationError, match="unknown topology") as ei:
+            repro.SelectionPlan(topology="torus")
+        for name in available_topologies():
+            assert name in str(ei.value)
+
+    def test_known_topologies_construct(self):
+        from repro.machine import available_topologies
+
+        for name in available_topologies():
+            assert repro.SelectionPlan(topology=name).topology == name
+        assert repro.SelectionPlan(topology=None).topology is None
+
+    def test_topology_spec_canonicalised(self):
+        # Aliases resolve; a two-level cluster size survives.
+        assert repro.SelectionPlan(topology="tree").topology == "binomial-tree"
+        assert (
+            repro.SelectionPlan(topology="two-level:4").topology
+            == "two-level:4"
+        )
+
+    def test_bad_topology_parameters(self):
+        with pytest.raises(ConfigurationError, match="cluster size"):
+            repro.SelectionPlan(topology="two-level:0")
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            repro.SelectionPlan(topology="hypercube:4")
+
     @pytest.mark.parametrize("field", ["sequential_method", "impl_override"])
     def test_unknown_sequential_method_names_options(self, field):
         with pytest.raises(
@@ -176,6 +205,9 @@ class TestPlanObject:
             base.replace(fast_params=FastRandomizedParams(delta=0.7)),
             base.replace(impl_override="introselect"),
             base.replace(backend="serial"),
+            base.replace(topology="hypercube"),
+            base.replace(topology="two-level"),
+            base.replace(topology="two-level:2"),
         ]
         keys = {v.cache_key() for v in variants} | {base.cache_key()}
         assert len(keys) == len(variants) + 1
@@ -203,6 +235,11 @@ class TestPlanObject:
             algorithm="randomized", max_iterations=5
         ).describe()
         assert "randomized" in text and "max_iterations=5" in text
+
+    def test_describe_mentions_topology(self):
+        text = repro.SelectionPlan(topology="two-level:4").describe()
+        assert "topology=two-level:4" in text
+        assert "topology" not in repro.SelectionPlan().describe()
 
     def test_as_plan_rejects_non_plan(self):
         with pytest.raises(ConfigurationError, match="SelectionPlan"):
