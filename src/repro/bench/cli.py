@@ -18,7 +18,7 @@ import time
 from pathlib import Path
 
 from .figures import EXPERIMENTS, SCALES, run_experiment
-from .report import write_csv
+from .report import write_csv, write_json
 
 __all__ = ["main"]
 
@@ -50,6 +50,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for CSV export (one file per experiment)",
     )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for BENCH_<experiment>.json perf-trajectory "
+            "artifacts (scale, grid points, wall/simulated seconds)"
+        ),
+    )
     return parser
 
 
@@ -66,6 +76,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.out is not None and result.points:
             path = write_csv(args.out / f"{exp_id}_{args.scale}.csv",
                              result.points)
+            print(f"[{exp_id}] wrote {path}")
+        if args.json is not None and result.points:
+            payload = {
+                "experiment": exp_id,
+                "scale": args.scale,
+                "title": result.title,
+                "harness_wall_s": round(dt, 3),
+                "points": [pt.as_row() for pt in result.points],
+            }
+            path = write_json(args.json / f"BENCH_{exp_id}.json", payload)
             print(f"[{exp_id}] wrote {path}")
     return 0
 

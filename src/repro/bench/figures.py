@@ -26,6 +26,7 @@ from .harness import (
     run_backend_point,
     run_multiselect_point,
     run_point,
+    run_pool_point,
     run_series,
     run_session_point,
     run_stream_point,
@@ -501,6 +502,50 @@ def topology(scale: str = "small") -> FigureResult:
     return FigureResult("topology", "Machine shape comparison", text, points)
 
 
+def pool(scale: str = "small") -> FigureResult:
+    """Repeated-launch throughput: the Session workload (many selections
+    over the same distributed array) on the ``threaded``, ``process`` and
+    persistent ``pool`` backends. ``process`` pays fork + shard pickling
+    per launch; ``pool`` forks once, pins the shards in shared memory and
+    serves every later launch over warm workers — the fork-count column is
+    the receipt. Values and summed simulated seconds must agree exactly."""
+    cfg = _scale(scale)
+    n = cfg["n_big"]
+    launches = 8
+    rows: list[str] = []
+    points: list[PointResult] = []
+    for algo in ("fast_randomized", "randomized"):
+        for p in cfg["bar_p_sweep"][:2]:
+            pt = run_pool_point(
+                algo, n, p, distribution="random", launches=launches,
+                trials=max(cfg["trials"], 1),
+            )
+            points.extend(pt.as_points())
+            agree = "ok" if (pt.values_agree and pt.simulated_times_agree) \
+                else "MISMATCH"
+            walls = "  ".join(
+                f"{be}={pt.wall_times[be] * 1e3:8.1f} ms"
+                f"/{pt.fork_counts[be]}f"
+                for be in pt.backends
+            )
+            rows.append(
+                f"  {algo:>16s} p={p:<3d} {pt.launches} launches [{agree}]  "
+                f"{walls}  pool-vs-process={pt.speedup():4.2f}x"
+            )
+    text = (
+        f"== Repeated-launch throughput: persistent pool vs per-launch "
+        f"backends, n={n // KILO}k, random data ==\n"
+        f"{launches} selections over one array per backend (whole-sequence\n"
+        "wall, best-of-trials; Nf = tracked spawn events — only the pool\n"
+        "counts forks, and its receipt is ONE for the whole sequence,\n"
+        "while 'process' re-forks every rank on every launch untracked.\n"
+        "Values and simulated seconds stay bit-identical throughout.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("pool", "Persistent pool repeated-launch throughput",
+                        text, points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -514,6 +559,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "multiselect": multiselect,
     "session": session,
     "backend": backend,
+    "pool": pool,
     "stream": stream,
     "topology": topology,
 }

@@ -14,6 +14,7 @@ changing any simulated number (see SelectionConfig.impl_override).
 from __future__ import annotations
 
 import statistics
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,12 +30,14 @@ from ..selection.fast_randomized import FastRandomizedParams
 __all__ = [
     "BackendPointResult",
     "PointResult",
+    "PoolPointResult",
     "SessionPointResult",
     "StreamPointResult",
     "TopologyPointResult",
     "run_backend_point",
     "run_point",
     "run_multiselect_point",
+    "run_pool_point",
     "run_session_point",
     "run_series",
     "run_stream_point",
@@ -339,6 +342,158 @@ def run_backend_point(
         result.wall_times[be] = min(walls)
         result.simulated_times[be] = rep.simulated_time
         result.values[be] = rep.value
+    return result
+
+
+@dataclass
+class PoolPointResult:
+    """A *repeated-launch* workload measured on several backends.
+
+    The workload the persistent ``pool`` backend exists for: ``launches``
+    selections at spread target ranks over the SAME distributed array. A
+    per-launch backend (``process``) pays fork + shard pickling on every
+    launch; the pool forks once, pins the shards in shared memory, and
+    serves every later launch over warm workers. ``wall_times`` holds the
+    best-of-``trials`` total real seconds for the whole sequence per
+    backend, and ``fork_counts`` the *tracked* spawn events observed over
+    the measurement: the pool's claim is exactly 1 for the whole sequence
+    (in-process backends never fork; ``process`` re-forks every launch
+    but does not track a counter, so it reads 0 here).
+    """
+
+    algorithm: str
+    distribution: str
+    n: int
+    p: int
+    launches: int
+    backends: tuple[str, ...]
+    #: Best-of-trials wall seconds for the whole launch sequence.
+    wall_times: dict = field(default_factory=dict)
+    #: Worker spawn events observed over all trials, per backend.
+    fork_counts: dict = field(default_factory=dict)
+    #: Sum of simulated seconds over the sequence (claim: all equal).
+    simulated_times: dict = field(default_factory=dict)
+    #: Tuple of selection answers, one per target rank (claim: all equal).
+    values: dict = field(default_factory=dict)
+    trials: int = 1
+
+    @property
+    def values_agree(self) -> bool:
+        vals = list(self.values.values())
+        return all(v == vals[0] for v in vals)
+
+    @property
+    def simulated_times_agree(self) -> bool:
+        """Bit-identical summed simulated seconds across backends."""
+        sims = list(self.simulated_times.values())
+        return all(s == sims[0] for s in sims)
+
+    def per_launch(self, backend: str) -> float:
+        """Mean wall seconds per launch for ``backend``."""
+        return self.wall_times[backend] / self.launches
+
+    def speedup(self, candidate: str = "pool",
+                baseline: str = "process") -> float:
+        """Wall-clock ratio ``baseline / candidate`` (>1: candidate wins)."""
+        if candidate not in self.wall_times or baseline not in self.wall_times:
+            raise ConfigurationError(
+                f"speedup needs both {candidate!r} and {baseline!r} measured; "
+                f"have {sorted(self.wall_times)}"
+            )
+        if not self.wall_times[candidate]:
+            return float("inf")
+        return self.wall_times[baseline] / self.wall_times[candidate]
+
+    def as_points(self) -> list[PointResult]:
+        """One CSV-exportable row per backend: whole-sequence walls, with
+        the ``iterations`` column carrying the observed fork count."""
+        return [
+            PointResult(
+                algorithm=f"{self.algorithm}@{be}",
+                balancer="none",
+                distribution=self.distribution,
+                n=self.n,
+                p=self.p,
+                simulated_time=self.simulated_times[be],
+                balance_time=0.0,
+                wall_time=self.wall_times[be],
+                iterations=float(self.fork_counts[be]),
+                trials=self.trials,
+            )
+            for be in self.backends
+        ]
+
+    def as_json(self) -> dict:
+        """Schema for the committed ``BENCH_pool.json`` artifacts."""
+        return {
+            "experiment": "pool",
+            "algorithm": self.algorithm,
+            "distribution": self.distribution,
+            "n": self.n,
+            "p": self.p,
+            "launches": self.launches,
+            "trials": self.trials,
+            "wall_times_s": dict(self.wall_times),
+            "per_launch_s": {
+                be: self.per_launch(be) for be in self.backends
+            },
+            "fork_counts": dict(self.fork_counts),
+            "simulated_time_s": dict(self.simulated_times),
+            "values_agree": self.values_agree,
+            "simulated_times_agree": self.simulated_times_agree,
+        }
+
+
+def run_pool_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    distribution: str = "random",
+    backends: tuple[str, ...] = ("threaded", "process", "pool"),
+    launches: int = 8,
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+) -> PoolPointResult:
+    """Measure a repeated-launch selection workload on every backend.
+
+    The sequence selects ``launches`` spread target ranks over one
+    generated array; every backend runs the identical sequence and the
+    whole sequence's wall clock is taken best-of-``trials``. Fork counts
+    come from the :attr:`~repro.core.array.Machine.fork_count` delta over
+    the measurement, so a pool point doubles as evidence of the
+    "``launches`` launches, one fork" contract.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if launches < 1:
+        raise ConfigurationError(f"launches must be >= 1, got {launches}")
+    targets = sorted(
+        {max(1, (i * n) // (launches + 1)) for i in range(1, launches + 1)}
+    )
+    result = PoolPointResult(
+        algorithm=algorithm, distribution=distribution, n=n, p=p,
+        launches=len(targets), backends=tuple(backends), trials=trials,
+    )
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer="none", seed=seed,
+        impl_override=impl_override,
+    )
+    for be in backends:
+        machine = Machine(n_procs=p, cost_model=cost_model or CM5, backend=be)
+        one_shot = Session(machine, cache=False)
+        data = machine.generate(n, distribution=distribution, seed=seed)
+        forks_before = machine.fork_count
+        walls = []
+        for _ in range(trials):
+            t0 = time.perf_counter()
+            reports = [one_shot.run_select(data, t, plan) for t in targets]
+            walls.append(time.perf_counter() - t0)
+        result.wall_times[be] = min(walls)
+        result.fork_counts[be] = machine.fork_count - forks_before
+        result.simulated_times[be] = sum(r.simulated_time for r in reports)
+        result.values[be] = tuple(r.value for r in reports)
     return result
 
 

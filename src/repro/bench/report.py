@@ -6,12 +6,19 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
 from typing import Sequence
 
 from .harness import PointResult
 
-__all__ = ["render_series_table", "render_bar_rows", "write_csv", "fmt_time"]
+__all__ = [
+    "render_series_table",
+    "render_bar_rows",
+    "write_csv",
+    "write_json",
+    "fmt_time",
+]
 
 
 def fmt_time(seconds: float) -> str:
@@ -77,4 +84,19 @@ def write_csv(path: str | Path, points: Sequence[PointResult]) -> Path:
         writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
         writer.writeheader()
         writer.writerows(rows)
+    return path
+
+
+def write_json(path: str | Path, payload: dict) -> Path:
+    """Write a ``BENCH_<experiment>.json`` perf-trajectory artifact.
+
+    The committed artifacts let successive PRs diff repeated-launch
+    throughput without re-running the grid; keep the payload flat JSON
+    (scalars, dicts, lists) so the files diff cleanly.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path

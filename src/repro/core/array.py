@@ -97,6 +97,13 @@ class Machine:
         cache-hit claims are asserted against deltas of this counter)."""
         return self.runtime.launch_count
 
+    @property
+    def fork_count(self) -> int:
+        """Worker spawn events on this machine's backend (see
+        :attr:`SPMDRuntime.fork_count`); the ``pool`` backend's
+        forks-once-serve-many claim is asserted against deltas of this."""
+        return self.runtime.fork_count
+
     # ---------------------------------------------------------------- serving
 
     def session(

@@ -27,6 +27,7 @@ from typing import Optional, get_args
 
 from ..balance.base import Balancer, get_balancer
 from ..errors import ConfigurationError
+from ..kernels.dispatch import KERNEL_MODES
 from ..kernels.select import SelectMethod
 from ..machine.backends import available_backends
 from ..machine.topology import validate_topology_spec
@@ -90,10 +91,16 @@ class SelectionPlan:
         ``"introselect"`` on huge grids).
     backend:
         Execution backend for launches this plan drives (``"serial"``,
-        ``"threaded"`` or ``"process"``); ``None`` defers to the machine's
-        backend (itself defaulting to ``$REPRO_BACKEND`` or threaded).
-        Values, RNG streams and simulated times are backend-independent;
-        only wall-clock changes.
+        ``"threaded"``, ``"process"`` or ``"pool"``); ``None`` defers to
+        the machine's backend (itself defaulting to ``$REPRO_BACKEND`` or
+        threaded). Values, RNG streams and simulated times are
+        backend-independent; only wall-clock changes.
+    kernels:
+        Executing kernel mode for per-rank local work (``"reference"`` or
+        ``"fast"``); ``None`` defers to ``$REPRO_KERNELS`` (default
+        reference). Values, RNG streams and simulated times are
+        mode-independent — charges always follow the reference cost
+        formulas; only wall-clock changes.
     topology:
         Machine shape the launches' collectives are lowered onto
         (``"crossbar"``, ``"binomial-tree"``, ``"hypercube"``,
@@ -123,6 +130,7 @@ class SelectionPlan:
     fast_params: Optional[FastRandomizedParams] = None
     impl_override: Optional[str] = None
     backend: Optional[str] = None
+    kernels: Optional[str] = None
     topology: Optional[str] = None
     prefilter: Optional[str] = None
     sketch_eps: float = 0.01
@@ -154,6 +162,11 @@ class SelectionPlan:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; "
                 f"available: {sorted(available_backends())}"
+            )
+        if self.kernels is not None and self.kernels not in KERNEL_MODES:
+            raise ConfigurationError(
+                f"unknown kernel mode {self.kernels!r}; "
+                f"available: {sorted(KERNEL_MODES)}"
             )
         if self.topology is not None:
             # Canonicalise (aliases resolved, cluster size kept) so equal
@@ -208,6 +221,7 @@ class SelectionPlan:
             endgame_threshold=self.endgame_threshold,
             max_iterations=self.max_iterations,
             impl_override=self.impl_override,
+            kernels=self.kernels,
         )
         return fn, cfg, type(balancer_obj).__name__
 
@@ -244,6 +258,7 @@ class SelectionPlan:
             fp,
             self.impl_override,
             self.backend,
+            self.kernels,
             self.topology,
             self.prefilter,
             # sketch_eps only shapes behaviour when the pre-filter is on.
@@ -263,7 +278,7 @@ class SelectionPlan:
                  f"seed={self.seed}"]
         for name in ("sequential_method", "endgame_threshold",
                      "max_iterations", "impl_override", "backend",
-                     "topology", "prefilter"):
+                     "kernels", "topology", "prefilter"):
             v = getattr(self, name)
             if v is not None:
                 parts.append(f"{name}={v}")

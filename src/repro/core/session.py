@@ -86,6 +86,47 @@ def resolve_single(plan: SelectionPlan):
     return fn, cfg, balancer_name, extra
 
 
+@dataclass(frozen=True)
+class _MultiRunner:
+    """Picklable batched-selection runner.
+
+    The strategy registry holds factories (lambdas) that cannot cross a
+    process boundary, so the runner carries only the algorithm *name* and
+    resolves the factory on the executing rank. Being a plain module-level
+    dataclass (not a closure) is what lets the ``pool`` backend ship
+    batched launches to its already-running workers.
+    """
+
+    algorithm: str
+    fast_params: object = None
+
+    def __call__(self, ctx, arr, ks_sorted, config):
+        if self.algorithm == "sort_based":
+            return sort_based_multi_select(ctx, arr, ks_sorted, config)
+        return contract_multi_select(
+            ctx, arr, ks_sorted, config,
+            STRATEGIES[self.algorithm](self.fast_params),
+            algorithm=self.algorithm,
+        )
+
+
+@dataclass(frozen=True)
+class _ShardProgram:
+    """Picklable SPMD program body: defensive-copy the rank shard, then
+    delegate to ``runner(ctx, shard.copy(), *launch_args, *extra)``.
+
+    Both launch paths used to close over their runner, which confined the
+    ``pool`` backend to its per-launch fork fallback; a frozen dataclass
+    around a picklable runner pickles whenever the plan does.
+    """
+
+    runner: object
+    extra: tuple = ()
+
+    def __call__(self, ctx, shard, *args):
+        return self.runner(ctx, shard.copy(), *args, *self.extra)
+
+
 def resolve_multi(plan: SelectionPlan):
     """``(cfg, balancer_name, runner)`` for a batched launch.
 
@@ -98,19 +139,7 @@ def resolve_multi(plan: SelectionPlan):
         # Same forcing the single-rank hybrids apply: deterministic
         # parallel structure, randomized sequential parts.
         cfg = dataclasses.replace(cfg, sequential_method="randomized")
-
-    if plan.algorithm == "sort_based":
-        def runner(ctx, arr, ks_sorted, config):
-            return sort_based_multi_select(ctx, arr, ks_sorted, config)
-    else:
-        strategy_factory = STRATEGIES[plan.algorithm]
-
-        def runner(ctx, arr, ks_sorted, config):
-            return contract_multi_select(
-                ctx, arr, ks_sorted, config,
-                strategy_factory(plan.fast_params), algorithm=plan.algorithm,
-            )
-    return cfg, balancer_name, runner
+    return cfg, balancer_name, _MultiRunner(plan.algorithm, plan.fast_params)
 
 
 def validate_ks(ks: Sequence[int], n: int) -> list[int]:
@@ -210,12 +239,8 @@ def execute_select(
 
         return execute_sketch_select(data, k, plan)
     fn, cfg, balancer_name, extra = resolve_single(plan)
-
-    def program(ctx, shard, target_k, config):
-        return fn(ctx, shard.copy(), target_k, config, *extra)
-
     result = data.machine.run(
-        program,
+        _ShardProgram(fn, extra),
         rank_args=[(s,) for s in data.shards],
         args=(k, cfg),
         backend=plan.backend,
@@ -243,12 +268,8 @@ def execute_multi_select(
     if not ks:
         return empty_multi_report(data, plan, balancer_name)
     unique_ks = sorted(set(ks))
-
-    def program(ctx, shard, ks_sorted, config):
-        return runner(ctx, shard.copy(), ks_sorted, config)
-
     result = data.machine.run(
-        program,
+        _ShardProgram(runner),
         rank_args=[(s,) for s in data.shards],
         args=(unique_ks, cfg),
         backend=plan.backend,

@@ -3,6 +3,12 @@ bucket preprocessing — each with a simulated-cost companion."""
 
 from .buckets import BucketScan, LocalBuckets, build_cost, default_n_buckets
 from .costed import CostedKernels
+from .dispatch import (
+    KERNEL_MODES,
+    KERNELS_ENV_VAR,
+    default_kernels_mode,
+    resolve_kernels,
+)
 from .partition import (
     Partition2,
     Partition3,
@@ -26,8 +32,12 @@ from .weighted_median import weighted_median, weighted_median_cost
 
 __all__ = [
     "BucketScan",
+    "KERNEL_MODES",
+    "KERNELS_ENV_VAR",
     "LocalBuckets",
     "build_cost",
+    "default_kernels_mode",
+    "resolve_kernels",
     "default_n_buckets",
     "CostedKernels",
     "Partition2",

@@ -10,25 +10,39 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine.engine import ProcContext
+from . import fast as _fast
 from . import partition as _partition
 from . import select as _select
 from .buckets import BucketScan, LocalBuckets, build_cost
+from .dispatch import resolve_kernels
 from .weighted_median import weighted_median, weighted_median_cost
 
 __all__ = ["CostedKernels"]
 
 
 class CostedKernels:
-    """Sequential kernels bound to one rank's clock and cost model."""
+    """Sequential kernels bound to one rank's clock and cost model.
 
-    def __init__(self, ctx: ProcContext):
+    ``kernels`` picks the executing implementations — ``"reference"`` or
+    ``"fast"`` (``None`` defers to ``$REPRO_KERNELS``, default reference).
+    Charges are computed from the reference cost formulas *before* the
+    executing kernel is chosen, so the two modes produce bit-identical
+    values and simulated times (pinned by ``tests/test_kernel_modes.py``);
+    only host wall clock differs.
+    """
+
+    def __init__(self, ctx: ProcContext, kernels: str | None = None):
         self.ctx = ctx
         self.model = ctx.model
+        self.kernels = resolve_kernels(kernels)
+        self._fast = self.kernels == "fast"
 
     # ------------------------------------------------------------ partition
 
     def partition3(self, arr: np.ndarray, pivot) -> _partition.Partition3:
         self.ctx.charge_compute(_partition.partition_cost(self.model, arr.size))
+        if self._fast:
+            return _fast.fast_partition3(arr, pivot)
         return _partition.partition3(arr, pivot)
 
     def partition2(self, arr: np.ndarray, pivot) -> _partition.Partition2:
@@ -47,6 +61,8 @@ class CostedKernels:
         self.ctx.charge_compute(
             _partition.partition_multiway_cost(self.model, arr.size, len(cuts))
         )
+        if self._fast:
+            return _fast.fast_partition_multiway(arr, cuts)
         return _partition.partition_multiway(arr, cuts)
 
     # ------------------------------------------------------------ selection
@@ -65,10 +81,17 @@ class CostedKernels:
         for wall-clock speed on huge benchmark grids) without changing the
         simulated charge: the k-th smallest is a unique value, so every
         implementation returns the same answer — only the simulated cost is
-        algorithm-dependent, and that always follows ``method``.
+        algorithm-dependent, and that always follows ``method``. Fast
+        kernel mode applies the same swap (introselect) by default.
         """
         self.ctx.charge_compute(_select.select_cost(self.model, arr.size, method))
-        return _select.select_kth(arr, k, method=impl or method, rng=rng)
+        return _select.select_kth(arr, k, method=self._impl(method, impl), rng=rng)
+
+    def _impl(self, method, impl):
+        """The executing sequential-select kernel for a charged ``method``."""
+        if impl is not None:
+            return impl
+        return "introselect" if self._fast else method
 
     def local_median(
         self,
@@ -98,7 +121,9 @@ class CostedKernels:
         self.ctx.charge_compute(
             _select.multi_select_cost(self.model, arr.size, len(ks), method)
         )
-        return _select.select_multi_kth(arr, ks, method=impl or method, rng=rng)
+        return _select.select_multi_kth(
+            arr, ks, method=self._impl(method, impl), rng=rng
+        )
 
     def sort(self, arr: np.ndarray) -> np.ndarray:
         n = max(int(arr.size), 1)
@@ -111,6 +136,8 @@ class CostedKernels:
 
     def build_buckets(self, arr: np.ndarray, n_buckets: int) -> LocalBuckets:
         self.ctx.charge_compute(build_cost(self.model, arr.size, n_buckets))
+        if self._fast:
+            return _fast.fast_build_buckets(arr, n_buckets)
         return LocalBuckets.build(arr, n_buckets)
 
     def charge_scan_evidence(

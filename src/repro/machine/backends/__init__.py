@@ -11,9 +11,12 @@ collectives, so *how* ranks are physically driven is a strategy:
                 simulator); NumPy releases the GIL on large kernels
 ``process``     one forked process per rank, shard data in shared memory,
                 collectives over queues; true multi-core past the GIL
+``pool``        persistent forked workers reused across launches, shards
+                pinned in shared memory; zero per-launch fork/pickle cost
+                for the repeated-launch (Session) workload
 ==============  ==========================================================
 
-All three charge identical simulated costs through the shared
+All four charge identical simulated costs through the shared
 :class:`~repro.machine.collectives.CollectiveEngine`: values, RNG streams
 and simulated times are bit-identical across backends (pinned by
 ``tests/test_backend_conformance.py``); only wall-clock differs.
@@ -30,6 +33,7 @@ import os
 
 from ...errors import ConfigurationError
 from .base import ExecutionBackend, Launch, ProcContext, SPMDResult
+from .pool import PoolBackend
 from .process import ProcessBackend
 from .serial import SerialBackend
 from .threaded import ThreadedBackend
@@ -49,10 +53,15 @@ __all__ = [
 #: Environment variable naming the process-wide default backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
-#: Registry: backend name -> shared stateless instance.
+#: Registry: backend name -> shared process-wide instance. Most backends
+#: are stateless; ``pool`` deliberately is not (it owns the persistent
+#: workers and the pin cache), and sharing one instance is what lets every
+#: Machine reuse the same warm workers.
 BACKENDS: dict[str, ExecutionBackend] = {
     backend.name: backend
-    for backend in (SerialBackend(), ThreadedBackend(), ProcessBackend())
+    for backend in (
+        SerialBackend(), ThreadedBackend(), ProcessBackend(), PoolBackend()
+    )
 }
 
 

@@ -205,8 +205,9 @@ class ExecutionBackend(abc.ABC):
     :class:`SPMDResult` with one entry per rank, converting any rank
     failure into a :class:`~repro.errors.WorkerError` that chains the
     original exception (siblings unwinding with ``WorkerAborted`` are
-    suppressed). Backends are stateless: one instance serves any number
-    of concurrent runtimes.
+    suppressed). One instance serves any number of runtimes; most
+    backends are stateless, while ``pool`` keeps persistent workers and a
+    pin cache precisely so launches can share them.
     """
 
     #: Registry key; also recorded on every result/report.

@@ -9,10 +9,10 @@ multi-core execution:
   ``rank_args`` is copied once into an anonymous shared-memory buffer
   (``multiprocessing.RawArray``) before the fork; each child wraps its
   buffer as a zero-copy NumPy view, so shards are never pickled.
-* **Collectives are message-passing.** A :class:`_QueueRendezvous` ships
-  each rank's deposit to every peer through per-rank inbox queues and
-  plugs into the shared
-  :class:`~repro.machine.collectives.CollectiveEngine`, so the cost
+* **Collectives are message-passing.** A
+  :class:`~repro.machine.backends._shm.QueueRendezvous` ships each rank's
+  deposit to every peer through per-rank inbox queues and plugs into the
+  shared :class:`~repro.machine.collectives.CollectiveEngine`, so the cost
   formulas — and therefore the simulated times — are bit-identical to the
   ``serial`` and ``threaded`` backends.
 * **Failures abort cleanly.** A raising rank broadcasts an abort to every
@@ -22,6 +22,10 @@ multi-core execution:
   processes: every child is joined (or terminated) before ``execute``
   returns.
 
+The shared-memory and queue-transport machinery lives in
+:mod:`repro.machine.backends._shm`, shared with the persistent ``pool``
+backend (which amortises this backend's per-launch fork cost away).
+
 Requires the ``fork`` start method (POSIX): programs are arbitrary
 closures, which only survive into children by inheritance, never by
 pickling.
@@ -29,301 +33,52 @@ pickling.
 
 from __future__ import annotations
 
-import ctypes
 import multiprocessing
-import pickle
 import queue as queue_module
 import time
-from collections import deque
 from typing import Any
 
-import numpy as np
-
-from ...errors import (
-    CommunicationError,
-    ConfigurationError,
-    WorkerAborted,
+from ...errors import ConfigurationError, WorkerAborted
+from ._shm import (
+    RankTransport,
+    SharedArray,
+    UnpicklableWorkerFailure,
+    build_worker_context,
+    picklable_failure,
+    resolve_shared,
+    share_rank_args,
 )
-from ..clock import LogicalClock
-from ..collectives import CollectiveEngine
-from ..comm import Comm
-from ..trace import NullTracer, Tracer
 from .base import (
     ExecutionBackend,
     Launch,
-    ProcContext,
     SPMDResult,
     raise_worker_failures,
     run_single_rank,
 )
 
-__all__ = ["ProcessBackend"]
+__all__ = ["ProcessBackend", "UnpicklableWorkerFailure"]
 
-
-class UnpicklableWorkerFailure(RuntimeError):
-    """Stand-in for a worker exception whose type cannot cross processes."""
-
-
-def _picklable_failure(exc: BaseException) -> BaseException:
-    """Return ``exc`` if it survives a pickle round trip, else a stand-in."""
-    try:
-        pickle.loads(pickle.dumps(exc))
-        return exc
-    except Exception:
-        return UnpicklableWorkerFailure(f"{type(exc).__name__}: {exc}")
-
-
-class _SharedArray:
-    """One rank shard copied into an anonymous shared-memory buffer.
-
-    Created in the parent before the fork; children inherit the mapping
-    and wrap it as a zero-copy NumPy view, so shard bytes cross the
-    process boundary exactly once (the parent-side copy-in) regardless of
-    how often ranks scan them.
-    """
-
-    def __init__(self, arr: np.ndarray):
-        arr = np.ascontiguousarray(arr)
-        self.dtype = arr.dtype
-        self.shape = arr.shape
-        self.size = arr.size
-        self._raw = multiprocessing.RawArray(ctypes.c_byte, max(arr.nbytes, 1))
-        if arr.size:
-            self.as_array()[...] = arr
-
-    def as_array(self) -> np.ndarray:
-        return np.frombuffer(
-            self._raw, dtype=self.dtype, count=self.size
-        ).reshape(self.shape)
-
-
-def _share_rank_args(rank_args):
-    """Replace every NumPy array in per-rank args with a shared buffer."""
-    if rank_args is None:
-        return None
-    return [
-        tuple(
-            _SharedArray(a) if isinstance(a, np.ndarray) else a for a in row
-        )
-        for row in rank_args
-    ]
-
-
-def _resolve_shared(extra):
-    return tuple(
-        a.as_array() if isinstance(a, _SharedArray) else a for a in extra
-    )
-
-
-class _RankTransport:
-    """One child's view of the inter-rank queues: demux + buffering.
-
-    Every rank owns one inbox queue; peers push ``coll`` (collective
-    deposits, sequence-numbered), ``p2p`` (tagged point-to-point
-    payloads), ``end`` (clean-completion marker used by the drain check)
-    and ``abort`` messages into it. Per-producer FIFO order is what makes
-    the end-marker drain protocol sound.
-    """
-
-    def __init__(self, rank: int, n: int, inboxes, timeout: float):
-        self.rank = rank
-        self.n = n
-        self.aborted = False
-        self._inboxes = inboxes
-        self._timeout = timeout
-        self._coll: dict[tuple[int, int], tuple] = {}
-        self._p2p: dict[tuple[int, Any], deque] = {}
-        self._ends: set[int] = set()
-
-    # ---------------------------------------------------------------- sends
-
-    def send_to(self, dest: int, msg: tuple) -> None:
-        self._inboxes[dest].put(msg)
-
-    def send_all(self, msg: tuple) -> None:
-        for dest in range(self.n):
-            if dest != self.rank:
-                self.send_to(dest, msg)
-
-    def broadcast_abort(self) -> None:
-        self.aborted = True
-        self.send_all(("abort",))
-
-    def deliver_local(self, source: int, tag, payload) -> None:
-        """A self-send: never touches a queue."""
-        self._p2p.setdefault((source, tag), deque()).append(payload)
-
-    # --------------------------------------------------------------- receive
-
-    def _pump(self, timeout: float) -> None:
-        """Read and dispatch one inbound message (or time out)."""
-        try:
-            msg = self._inboxes[self.rank].get(timeout=timeout)
-        except queue_module.Empty:
-            raise CommunicationError(
-                f"rank {self.rank}: no inter-rank message within {timeout}s "
-                "(peer stalled or desynchronised)"
-            ) from None
-        kind = msg[0]
-        if kind == "coll":
-            _, seq, src, op, value, clock_now = msg
-            self._coll[(src, seq)] = (op, value, clock_now)
-        elif kind == "p2p":
-            _, src, tag, payload = msg
-            self._p2p.setdefault((src, tag), deque()).append(payload)
-        elif kind == "end":
-            self._ends.add(msg[1])
-        else:  # "abort"
-            self.aborted = True
-
-    def _check_abort(self) -> None:
-        if self.aborted:
-            raise WorkerAborted("sibling rank failed")
-
-    def wait_coll(self, src: int, seq: int) -> tuple:
-        key = (src, seq)
-        while key not in self._coll:
-            self._check_abort()
-            self._pump(self._timeout)
-        self._check_abort()
-        return self._coll.pop(key)
-
-    def wait_p2p(self, src: int, tag, timeout: float | None):
-        key = (src, tag)
-        deadline = None if timeout is None else time.monotonic() + timeout
-        while not self._p2p.get(key):
-            self._check_abort()
-            remaining = self._timeout
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise TimeoutError(
-                        f"rank {self.rank}: recv(source={src}, tag={tag!r}) "
-                        f"timed out after {timeout}s"
-                    )
-                remaining = min(remaining, self._timeout)
-            try:
-                self._pump(remaining)
-            except CommunicationError:
-                if deadline is None:
-                    raise
-                continue  # keep waiting until the caller's own deadline
-        self._check_abort()
-        return self._p2p[key].popleft()
-
-    # ----------------------------------------------------------------- drain
-
-    def finish_and_drain(self) -> None:
-        """End-marker handshake + undelivered-message check.
-
-        Each rank announces completion to every peer, waits for every
-        peer's announcement, then verifies nothing tagged for it is still
-        buffered. Per-producer queue FIFO guarantees any message a peer
-        sent *before* its end marker has already been dispatched here, so
-        a clean pass means no unmatched sends anywhere — the
-        process-world equivalent of the runtime's ``drain_check``.
-        """
-        self.send_all(("end", self.rank))
-        while len(self._ends) < self.n - 1:
-            self._check_abort()
-            self._pump(self._timeout)
-        pending = sum(len(q) for q in self._p2p.values())
-        if pending or self._coll:
-            raise CommunicationError(
-                f"rank {self.rank} finished with {pending} undelivered "
-                f"point-to-point message(s) and {len(self._coll)} unread "
-                "collective deposit(s)"
-            )
-
-
-class _QueueRendezvous:
-    """Message-passing rendezvous: deposits cross per-rank inbox queues."""
-
-    def __init__(self, transport: _RankTransport):
-        self._t = transport
-        self._seq = 0
-
-    def exchange(self, rank, op, value, clock_now):
-        t = self._t
-        if t.aborted:
-            raise WorkerAborted("sibling rank failed")
-        seq = self._seq
-        self._seq += 1
-        t.send_all(("coll", seq, rank, op, value, clock_now))
-        ops: list[str] = [""] * t.n
-        values: list[Any] = [None] * t.n
-        clocks: list[float] = [0.0] * t.n
-        ops[rank], values[rank], clocks[rank] = op, value, clock_now
-        for src in range(t.n):
-            if src != rank:
-                ops[src], values[src], clocks[src] = t.wait_coll(src, seq)
-        return ops, values, max(clocks)
-
-    def abort(self) -> None:
-        self._t.broadcast_abort()
-
-
-class _ProcessMailbox:
-    """Receive side of one rank's point-to-point traffic."""
-
-    def __init__(self, transport: _RankTransport):
-        self._t = transport
-
-    def recv(self, source: int, tag, timeout: float | None = None):
-        return self._t.wait_p2p(source, tag, timeout)
-
-
-class _ProcessBoard:
-    """MessageBoard-compatible facade over the queue transport."""
-
-    def __init__(self, transport: _RankTransport):
-        self._t = transport
-        self._mailbox = _ProcessMailbox(transport)
-
-    def send(self, source: int, dest: int, tag, payload) -> None:
-        n = self._t.n
-        if not (0 <= dest < n):
-            raise CommunicationError(
-                f"send: destination rank {dest} out of range [0, {n})"
-            )
-        if dest == self._t.rank:
-            self._t.deliver_local(source, tag, payload)
-        else:
-            self._t.send_to(dest, ("p2p", source, tag, payload))
-
-    def mailbox(self, rank: int):
-        if rank != self._t.rank:  # pragma: no cover - misuse guard
-            raise CommunicationError(
-                "process backend: a rank may only read its own mailbox"
-            )
-        return self._mailbox
-
-    def abort(self) -> None:
-        self._t.broadcast_abort()
+# Backwards-compatible aliases (tests exercise the transport mechanics
+# through the historical underscore names).
+_SharedArray = SharedArray
+_RankTransport = RankTransport
+_share_rank_args = share_rank_args
+_resolve_shared = resolve_shared
+_picklable_failure = picklable_failure
 
 
 def _child_main(launch: Launch, rank: int, shared_rank_args, inboxes,
                 result_q) -> None:
     """Entire life of one rank process (runs in the forked child)."""
     p = launch.n_procs
-    transport = _RankTransport(rank, p, inboxes, launch.join_timeout)
-    tracer = Tracer() if launch.tracer.enabled else NullTracer()
-    clock = LogicalClock()
-    engine = CollectiveEngine(
-        p, launch.cost_model, tracer, rendezvous=_QueueRendezvous(transport),
-        topology=launch.topology,
-    )
-    board = _ProcessBoard(transport)
-    ctx = ProcContext(
-        rank=rank,
-        size=p,
-        comm=Comm(rank, p, engine, board, clock, launch.cost_model),
-        clock=clock,
-        model=launch.cost_model,
+    transport = RankTransport(rank, p, inboxes, launch.join_timeout)
+    ctx, clock, tracer = build_worker_context(
+        rank, p, launch.cost_model, launch.topology, transport,
+        launch.tracer.enabled,
     )
     try:
         extra = (
-            _resolve_shared(shared_rank_args[rank])
+            resolve_shared(shared_rank_args[rank])
             if shared_rank_args is not None
             else ()
         )
@@ -337,7 +92,99 @@ def _child_main(launch: Launch, rank: int, shared_rank_args, inboxes,
         result_q.put(("aborted", rank))
     except BaseException as exc:  # noqa: BLE001 - must report, not leak
         transport.broadcast_abort()
-        result_q.put(("error", rank, _picklable_failure(exc)))
+        result_q.put(("error", rank, picklable_failure(exc)))
+
+
+def require_fork(backend_name: str) -> multiprocessing.context.BaseContext:
+    """The multi-process backends need ``fork`` (POSIX): programs may be
+    arbitrary closures, which only reach children by inheritance."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ConfigurationError(
+            f"the {backend_name} backend requires the 'fork' start method "
+            "(POSIX only); use the 'serial' or 'threaded' backend here"
+        )
+    return multiprocessing.get_context("fork")
+
+
+def collect_results(procs, result_q, p: int, join_timeout: float,
+                    dead_grace: float, epoch: int | None = None,
+                    inboxes=None):
+    """Drain worker reports until every rank is accounted for.
+
+    Shared by the per-launch ``process`` collection loop and the pool's
+    per-job one. Workers that die without reporting (crash, ``SIGKILL``)
+    are detected via liveness polling with a ``dead_grace`` window for
+    their final queue message to surface; ``epoch``-tagged messages from a
+    previous pool launch are discarded. A dead worker cannot broadcast its
+    own abort the way a raising one does, so when ``inboxes`` is given the
+    *parent* aborts the surviving ranks (they would otherwise block on the
+    dead peer until ``join_timeout``). Returns
+    ``(values, clocks, breakdowns, trace_events, errors)``.
+
+    The whole-launch deadline is a *backstop*, not the primary hang
+    detector — a genuinely deadlocked worker raises its own per-message
+    stall timeout and reports the error here. It therefore scales with
+    rank count (many ranks oversubscribing few cores legitimately stretch
+    a launch) and extends whenever a rank does report.
+    """
+    values: list[Any] = [None] * p
+    clocks = [0.0] * p
+    breakdowns: list[Any] = [None] * p
+    trace_events: dict[int, list] = {}
+    errors: list[BaseException | None] = [None] * p
+    remaining = set(range(p))
+    launch_timeout = join_timeout * max(1.0, p / 16.0)
+    deadline = time.monotonic() + launch_timeout
+    dead_since: dict[int, float] = {}
+    while remaining:
+        try:
+            msg = result_q.get(timeout=0.2)
+        except queue_module.Empty:
+            now = time.monotonic()
+            for r in sorted(remaining):
+                if procs[r].is_alive():
+                    dead_since.pop(r, None)
+                    continue
+                # Dead without a report: allow a grace period for its
+                # final queue message to surface, then declare a crash.
+                if now - dead_since.setdefault(r, now) > dead_grace:
+                    errors[r] = RuntimeError(
+                        f"rank {r} process died with exit code "
+                        f"{procs[r].exitcode} before reporting a result"
+                    )
+                    remaining.discard(r)
+                    if inboxes is not None:
+                        for q in inboxes:
+                            try:
+                                q.put_nowait(("abort",))
+                            except Exception:
+                                pass
+            if now > deadline:
+                for r in sorted(remaining):
+                    errors[r] = RuntimeError(
+                        f"rank {r} did not report within {launch_timeout}s"
+                    )
+                remaining.clear()
+            continue
+        if epoch is not None:
+            if msg[0] != epoch:  # stale message from a torn-down launch
+                continue
+            msg = msg[1:]
+        deadline = max(deadline, time.monotonic() + join_timeout)
+        kind, rank = msg[0], msg[1]
+        remaining.discard(rank)
+        if kind == "done":
+            _, _, value, now_, breakdown, events = msg
+            values[rank] = value
+            clocks[rank] = now_
+            breakdowns[rank] = breakdown
+            if events:
+                trace_events[rank] = events
+        elif kind == "error":
+            errors[rank] = msg[2]
+        else:  # "aborted"
+            errors[rank] = WorkerAborted(f"rank {rank} aborted")
+    return values, clocks, breakdowns, trace_events, errors
 
 
 class ProcessBackend(ExecutionBackend):
@@ -353,15 +200,10 @@ class ProcessBackend(ExecutionBackend):
         p = launch.n_procs
         if p == 1:
             return run_single_rank(launch, self.name)
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise ConfigurationError(
-                "the process backend requires the 'fork' start method "
-                "(POSIX only); use the 'serial' or 'threaded' backend here"
-            )
-        ctx = multiprocessing.get_context("fork")
+        ctx = require_fork(self.name)
         inboxes = [ctx.Queue() for _ in range(p)]
         result_q = ctx.Queue()
-        shared_rank_args = _share_rank_args(launch.rank_args)
+        shared_rank_args = share_rank_args(launch.rank_args)
         procs = [
             ctx.Process(
                 target=_child_main,
@@ -375,52 +217,10 @@ class ProcessBackend(ExecutionBackend):
         for pr in procs:
             pr.start()
 
-        values: list[Any] = [None] * p
-        clocks = [0.0] * p
-        breakdowns: list[Any] = [None] * p
-        trace_events: dict[int, list] = {}
-        errors: list[BaseException | None] = [None] * p
-        remaining = set(range(p))
-        deadline = time.monotonic() + launch.join_timeout
-        dead_since: dict[int, float] = {}
-        while remaining:
-            try:
-                msg = result_q.get(timeout=0.2)
-            except queue_module.Empty:
-                now = time.monotonic()
-                for r in sorted(remaining):
-                    if procs[r].is_alive():
-                        dead_since.pop(r, None)
-                        continue
-                    # Dead without a report: allow a grace period for its
-                    # final queue message to surface, then declare a crash.
-                    if now - dead_since.setdefault(r, now) > self.DEAD_GRACE:
-                        errors[r] = RuntimeError(
-                            f"rank {r} process died with exit code "
-                            f"{procs[r].exitcode} before reporting a result"
-                        )
-                        remaining.discard(r)
-                if now > deadline:
-                    for r in sorted(remaining):
-                        errors[r] = RuntimeError(
-                            f"rank {r} did not report within "
-                            f"{launch.join_timeout}s"
-                        )
-                    remaining.clear()
-                continue
-            kind, rank = msg[0], msg[1]
-            remaining.discard(rank)
-            if kind == "done":
-                _, _, value, now_, breakdown, events = msg
-                values[rank] = value
-                clocks[rank] = now_
-                breakdowns[rank] = breakdown
-                if events:
-                    trace_events[rank] = events
-            elif kind == "error":
-                errors[rank] = msg[2]
-            else:  # "aborted"
-                errors[rank] = WorkerAborted(f"rank {rank} aborted")
+        values, clocks, breakdowns, trace_events, errors = collect_results(
+            procs, result_q, p, launch.join_timeout, self.DEAD_GRACE,
+            inboxes=inboxes,
+        )
 
         for pr in procs:
             pr.join(timeout=5.0)

@@ -112,6 +112,14 @@ class SPMDRuntime:
         self.launch_count += 1
         return chosen.execute(launch)
 
+    @property
+    def fork_count(self) -> int:
+        """Worker spawn events recorded by this runtime's default backend
+        (0 for backends without persistent workers). The ``pool`` backend
+        increments it per generation fork / fallback launch, so "k
+        launches, one fork" is assertable next to :attr:`launch_count`."""
+        return getattr(self.backend, "fork_count", 0)
+
 
 def run_spmd(
     fn: Callable[..., Any],

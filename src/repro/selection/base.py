@@ -69,6 +69,11 @@ class SelectionConfig:
         the bench harness on huge grids: the selected value is identical for
         every implementation, so results and simulated times are unchanged
         while wall-clock drops by the deterministic kernel's constant.
+    kernels:
+        Executing kernel mode for per-rank local work (``"reference"`` or
+        ``"fast"``, see :mod:`repro.kernels.dispatch`); ``None`` defers to
+        ``$REPRO_KERNELS``. Values and simulated times are unchanged —
+        only host wall clock.
     """
 
     balancer: Balancer = field(default_factory=NoBalance)
@@ -77,6 +82,7 @@ class SelectionConfig:
     max_iterations: Optional[int] = None
     endgame_threshold: Optional[int] = None
     impl_override: Optional[SelectMethod] = None
+    kernels: Optional[str] = None
 
     def iteration_guard(self, n: int) -> int:
         if self.max_iterations is not None:

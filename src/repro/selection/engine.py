@@ -315,7 +315,7 @@ class ContractionEngine:
     ):
         self.ctx = ctx
         self.cfg = cfg
-        self.K = CostedKernels(ctx)
+        self.K = CostedKernels(ctx, kernels=cfg.kernels)
         self.strategy = strategy.bind(ctx, self.K, cfg)
         self.stats = stats
         self.results: list = []
@@ -653,7 +653,7 @@ def contract_multi_select(
     )
     arr = np.asarray(shard)
     if ctx.size == 1:
-        K = CostedKernels(ctx)
+        K = CostedKernels(ctx, kernels=cfg.kernels)
         n = int(arr.size)
         for k in ks:
             check_rank(n, k)

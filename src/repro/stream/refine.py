@@ -204,7 +204,7 @@ def execute_sketch_select(
     prebuilt, amortised = _prebuilt_sketches(data, eps)
 
     def program(ctx, shard, local_sk, target_k, config):
-        K = CostedKernels(ctx)
+        K = CostedKernels(ctx, kernels=config.kernels)
         merged = _merged_sketch(
             ctx, K, _local_sketch(ctx, K, shard, eps, local_sk), eps
         )
@@ -256,7 +256,7 @@ def execute_sketch_multi_select(
     prebuilt, amortised = _prebuilt_sketches(data, eps)
 
     def program(ctx, shard, local_sk, ks_sorted, config):
-        K = CostedKernels(ctx)
+        K = CostedKernels(ctx, kernels=config.kernels)
         merged = _merged_sketch(
             ctx, K, _local_sketch(ctx, K, shard, eps, local_sk), eps
         )

@@ -8,7 +8,10 @@ clocks, per-category breakdowns, iteration/pivot streams) across every
 algorithm and a spread of data distributions, for both single-rank
 ``select`` and batched ``multi_select``. The ``process`` backend — ranks
 in separate forked processes — is held to the same bar on a sub-grid
-(forks are expensive; the mechanism, not the grid, is what differs).
+(forks are expensive; the mechanism, not the grid, is what differs), and
+so is the persistent ``pool`` backend, whose sub-grid runs on reused
+warm workers (reuse asserted via ``fork_count``) so the zero-fork
+dispatch path itself is what is held to the bar.
 """
 
 import numpy as np
@@ -94,10 +97,42 @@ class TestProcessConformance:
         assert proc.result.clocks == threaded.result.clocks
 
 
+@pytest.mark.parametrize("distribution", ["random", "few_distinct"])
+@pytest.mark.parametrize(
+    "algorithm", ["fast_randomized", "median_of_medians"]
+)
+class TestPoolConformance:
+    """Persistent warm workers must match the in-process backends
+    bit-for-bit — and must actually be warm (no per-launch forks)."""
+
+    def test_select_matches_threaded(self, algorithm, distribution):
+        from repro.machine.backends import BACKENDS
+
+        forks_before = BACKENDS["pool"].fork_count
+        pool = _run_select("pool", algorithm, distribution)
+        # At most one generation fork per launch sequence; never one per
+        # launch (the machine above runs exactly one launch).
+        assert BACKENDS["pool"].fork_count - forks_before <= 1
+        threaded = _run_select("threaded", algorithm, distribution)
+        assert pool.backend == "pool"
+        assert pool.value == threaded.value
+        _assert_same_launch_evidence(pool, threaded)
+
+    def test_multi_select_matches_threaded(self, algorithm, distribution):
+        pool = _run_multi("pool", algorithm, distribution)
+        threaded = _run_multi("threaded", algorithm, distribution)
+        assert pool.values == threaded.values
+        assert pool.simulated_time == threaded.simulated_time
+        assert pool.breakdown == threaded.breakdown
+        assert pool.result.clocks == threaded.result.clocks
+
+
 class TestOracleAcrossBackends:
     """Every backend's answers check out against a host-side sort."""
 
-    @pytest.mark.parametrize("backend", ["serial", "threaded", "process"])
+    @pytest.mark.parametrize(
+        "backend", ["serial", "threaded", "process", "pool"]
+    )
     def test_quantiles_match_sorted_oracle(self, backend):
         machine = repro.Machine(n_procs=P, backend=backend)
         data = machine.generate(N, distribution="gaussian", seed=5)
@@ -107,7 +142,9 @@ class TestOracleAcrossBackends:
             assert rep.value == oracle[max(1, int(np.ceil(q * N))) - 1]
             assert rep.backend == backend
 
-    @pytest.mark.parametrize("backend", ["serial", "threaded", "process"])
+    @pytest.mark.parametrize(
+        "backend", ["serial", "threaded", "process", "pool"]
+    )
     def test_single_rank_machine(self, backend):
         # p == 1 takes the shared inline fast path on every backend.
         machine = repro.Machine(n_procs=1, backend=backend)
@@ -199,13 +236,14 @@ class TestTopologyConformance:
         flat = _run_multi("threaded", "fast_randomized", "random")
         assert shaped.values == flat.values
 
-    def test_process_backend_matches_threaded_on_hypercube(self):
-        proc = _run_select("process", "fast_randomized", "random",
-                           topology="hypercube")
+    @pytest.mark.parametrize("backend", ["process", "pool"])
+    def test_forked_backends_match_threaded_on_hypercube(self, backend):
+        forked = _run_select(backend, "fast_randomized", "random",
+                             topology="hypercube")
         threaded = _run_select("threaded", "fast_randomized", "random",
                                topology="hypercube")
-        assert proc.value == threaded.value
-        _assert_same_launch_evidence(proc, threaded)
+        assert forked.value == threaded.value
+        _assert_same_launch_evidence(forked, threaded)
 
     def test_topology_is_part_of_the_cache_identity(self):
         machine = repro.Machine(n_procs=P)

@@ -106,6 +106,47 @@ class TestRunBackendPoint:
             run_backend_point("randomized", 1024, 2, trials=0)
 
 
+class TestRunPoolPoint:
+    def test_fields_agreement_and_fork_receipt(self):
+        from repro.bench.harness import run_pool_point
+
+        pt = run_pool_point("randomized", 4096, 4, launches=3)
+        assert pt.backends == ("threaded", "process", "pool")
+        assert pt.launches == 3
+        assert pt.values_agree and pt.simulated_times_agree
+        assert all(len(v) == 3 for v in pt.values.values())
+        assert all(w > 0 for w in pt.wall_times.values())
+        # The pool's receipt: the whole sequence cost one fork; the
+        # in-process backends track zero.
+        assert pt.fork_counts["pool"] == 1
+        assert pt.fork_counts["threaded"] == 0
+        assert pt.per_launch("pool") == pt.wall_times["pool"] / 3
+        assert pt.speedup("threaded", "process") > 0
+        rows = pt.as_points()
+        assert {r.algorithm for r in rows} == {
+            "randomized@threaded", "randomized@process", "randomized@pool"
+        }
+        assert any(r.iterations == 1.0 for r in rows)  # the fork column
+        payload = pt.as_json()
+        assert payload["experiment"] == "pool"
+        assert payload["fork_counts"]["pool"] == 1
+        assert payload["values_agree"] and payload["simulated_times_agree"]
+
+    def test_backend_subset_and_guards(self):
+        from repro.bench.harness import run_pool_point
+
+        pt = run_pool_point(
+            "fast_randomized", 2048, 2, backends=("serial", "threaded"),
+            launches=2,
+        )
+        with pytest.raises(ConfigurationError, match="speedup"):
+            pt.speedup()  # pool/process not measured
+        with pytest.raises(ConfigurationError, match="trials"):
+            run_pool_point("randomized", 1024, 2, trials=0)
+        with pytest.raises(ConfigurationError, match="launches"):
+            run_pool_point("randomized", 1024, 2, launches=0)
+
+
 class TestRunTopologyPoint:
     def test_fields_agreement_and_hierarchy(self):
         from repro.bench.harness import run_topology_point
@@ -151,7 +192,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
             "ablation-delta", "ablation-partition", "multiselect",
-            "session", "backend", "stream", "topology",
+            "session", "backend", "pool", "stream", "topology",
         }
 
     def test_scales(self):

@@ -22,6 +22,15 @@ EASY = CostModel(
 )
 
 
+class NegativeSized:
+    """Module-level so it pickles: queue backends ship deposits across
+    processes, and the point of the bad-sizer test is the *pricing* error,
+    not a transport one."""
+
+    def __sim_words__(self):
+        return -3
+
+
 class TestPayloadWords:
     def test_none_is_zero(self):
         assert payload_words(None) == 0.0
@@ -77,12 +86,8 @@ class TestPayloadWords:
         """A mispriced payload aborts the launch with a clear error
         instead of silently corrupting every simulated time after it."""
 
-        class Sized:
-            def __sim_words__(self):
-                return -3
-
         def prog(ctx):
-            ctx.comm.combine(Sized(), lambda a, b: a)
+            ctx.comm.combine(NegativeSized(), lambda a, b: a)
 
         with pytest.raises(WorkerError) as ei:
             run_spmd(prog, 2)

@@ -24,8 +24,9 @@ from repro.machine.backends.process import (
 
 
 class TestRegistry:
-    def test_three_backends_registered(self):
-        assert available_backends() == ("process", "serial", "threaded")
+    def test_four_backends_registered(self):
+        assert available_backends() == ("pool", "process", "serial",
+                                        "threaded")
 
     def test_unknown_backend_lists_options(self):
         with pytest.raises(ConfigurationError, match=r"available: \["):
@@ -78,7 +79,7 @@ class TestSelectionPlumbing:
         with pytest.raises(
             ConfigurationError,
             match=r"unknown backend 'gpu'; available: "
-                  r"\['process', 'serial', 'threaded'\]",
+                  r"\['pool', 'process', 'serial', 'threaded'\]",
         ):
             repro.SelectionPlan(backend="gpu")
 

@@ -15,7 +15,23 @@ from repro.errors import WorkerError
 from repro.kernels import CostedKernels
 from repro.machine import run_spmd
 
-BACKENDS = ["serial", "threaded", "process"]
+BACKENDS = ["serial", "threaded", "process", "pool"]
+
+
+class Poison(Exception):
+    """Module-level so it pickles: forked ranks ship the original
+    exception type back across the result queue, and a local class would
+    degrade the cause to ``UnpicklableWorkerFailure``."""
+
+
+def _transient_children() -> list:
+    """Live child processes, ignoring the pool's persistent workers (they
+    outlive launches by design; their own lifecycle is covered by
+    ``tests/test_pool_backend.py``)."""
+    return [
+        pr for pr in multiprocessing.active_children()
+        if not pr.name.startswith("repro-pool-")
+    ]
 
 
 def _assert_no_leaked_workers(threads_before: int) -> None:
@@ -24,14 +40,14 @@ def _assert_no_leaked_workers(threads_before: int) -> None:
     while time.monotonic() < deadline:
         if (
             threading.active_count() <= threads_before
-            and not multiprocessing.active_children()
+            and not _transient_children()
         ):
             return
         time.sleep(0.01)
     assert threading.active_count() <= threads_before, (
         f"leaked threads: {[t.name for t in threading.enumerate()]}"
     )
-    assert not multiprocessing.active_children(), "leaked worker processes"
+    assert not _transient_children(), "leaked worker processes"
 
 
 class TestFailurePhases:
@@ -67,9 +83,6 @@ class TestFailurePhases:
         assert isinstance(ei.value.cause, ValueError)
 
     def test_failure_inside_balancer(self):
-        class Poison(Exception):
-            pass
-
         def prog(ctx, shard):
             k = CostedKernels(ctx)
             if ctx.rank == 2:
