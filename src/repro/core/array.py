@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class Machine:
             n_procs, cost_model=cost_model if cost_model is not None else CM5,
             trace=trace, backend=backend, topology=topology,
         )
-        self._default_session: Optional["Session"] = None
+        self._default_session: "Session | None" = None
 
     @property
     def n_procs(self) -> int:
@@ -186,7 +186,7 @@ class DistributedArray:
 
     machine: Machine
     shards: list[np.ndarray]
-    _fingerprint: Optional[str] = field(
+    _fingerprint: str | None = field(
         default=None, init=False, repr=False, compare=False
     )
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import numbers
 from dataclasses import dataclass
-from typing import Optional, get_args
+from typing import get_args
 
 from ..balance.base import Balancer, get_balancer
 from ..errors import ConfigurationError
@@ -43,14 +43,14 @@ SEQUENTIAL_METHODS: tuple[str, ...] = get_args(SelectMethod)
 PREFILTERS: tuple[str, ...] = ("sketch",)
 
 
-def _check_method(value: Optional[str], what: str) -> None:
+def _check_method(value: str | None, what: str) -> None:
     if value is not None and value not in SEQUENTIAL_METHODS:
         raise ConfigurationError(
             f"unknown {what} {value!r}; available: {sorted(SEQUENTIAL_METHODS)}"
         )
 
 
-def _as_int(value, what: str, minimum: Optional[int] = None) -> int:
+def _as_int(value, what: str, minimum: int | None = None) -> int:
     """Coerce any integral (int, numpy integer) to a plain int; bools and
     non-integrals are configuration errors."""
     if isinstance(value, numbers.Integral) and not isinstance(value, bool):
@@ -124,15 +124,15 @@ class SelectionPlan:
     algorithm: str = "fast_randomized"
     balancer: object = "default"
     seed: int = 0
-    sequential_method: Optional[str] = None
-    endgame_threshold: Optional[int] = None
-    max_iterations: Optional[int] = None
-    fast_params: Optional[FastRandomizedParams] = None
-    impl_override: Optional[str] = None
-    backend: Optional[str] = None
-    kernels: Optional[str] = None
-    topology: Optional[str] = None
-    prefilter: Optional[str] = None
+    sequential_method: str | None = None
+    endgame_threshold: int | None = None
+    max_iterations: int | None = None
+    fast_params: FastRandomizedParams | None = None
+    impl_override: str | None = None
+    backend: str | None = None
+    kernels: str | None = None
+    topology: str | None = None
+    prefilter: str | None = None
     sketch_eps: float = 0.01
 
     def __post_init__(self) -> None:
@@ -289,7 +289,7 @@ class SelectionPlan:
         return "SelectionPlan(" + ", ".join(parts) + ")"
 
 
-def as_plan(plan: Optional[SelectionPlan], overrides: dict) -> SelectionPlan:
+def as_plan(plan: SelectionPlan | None, overrides: dict) -> SelectionPlan:
     """Normalise ``(plan, kwargs)`` call sites to one validated plan.
 
     ``None`` + kwargs builds a fresh plan; an existing plan + kwargs is

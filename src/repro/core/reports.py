@@ -20,7 +20,6 @@ launch was paid for them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..machine.clock import TimeBreakdown
 from ..machine.engine import SPMDResult
@@ -82,7 +81,7 @@ class _RunReport:
     simulated_time: float
     wall_time: float
     breakdown: TimeBreakdown
-    result: Optional[SPMDResult] = field(repr=False, default=None)
+    result: SPMDResult | None = field(repr=False, default=None)
     #: True when this report was served from a Session's result cache (the
     #: metrics describe the originating launch; no new launch happened).
     cached: bool = False
@@ -101,7 +100,7 @@ class _RunReport:
         return self.result.balance_time if self.result else self.breakdown.balance
 
     @property
-    def prefilter(self) -> Optional[PrefilterStats]:
+    def prefilter(self) -> PrefilterStats | None:
         """Sketch pre-filter evidence (``None`` for plain runs)."""
         return getattr(getattr(self, "stats", None), "prefilter", None)
 

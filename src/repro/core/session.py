@@ -35,7 +35,7 @@ from __future__ import annotations
 import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -486,7 +486,7 @@ class Session:
     def __init__(
         self,
         machine: "Machine",
-        plan: Optional[SelectionPlan] = None,
+        plan: SelectionPlan | None = None,
         cache: bool = True,
         max_cache_entries: int = 65536,
     ):
@@ -509,7 +509,7 @@ class Session:
 
     # ----------------------------------------------------------- plumbing
 
-    def _plan_for(self, plan: Optional[SelectionPlan],
+    def _plan_for(self, plan: SelectionPlan | None,
                   overrides: dict) -> SelectionPlan:
         if plan is None and not overrides:
             return self.plan
@@ -531,7 +531,7 @@ class Session:
 
     # LRU cache primitives -------------------------------------------------
 
-    def _cache_get(self, key: tuple) -> Optional[_CacheEntry]:
+    def _cache_get(self, key: tuple) -> _CacheEntry | None:
         if not self.cache_enabled:
             return None
         entry = self._cache.get(key)
@@ -563,7 +563,7 @@ class Session:
     # ------------------------------------------------------ deferred queries
 
     def select(self, data: "DistributedArray", k: int,
-               plan: Optional[SelectionPlan] = None,
+               plan: SelectionPlan | None = None,
                **overrides) -> SelectionFuture:
         """Queue a rank-``k`` query; returns a future. Nothing launches
         until :meth:`flush` — same-array queries coalesce into one batched
@@ -576,13 +576,13 @@ class Session:
         return fut
 
     def median(self, data: "DistributedArray",
-               plan: Optional[SelectionPlan] = None,
+               plan: SelectionPlan | None = None,
                **overrides) -> SelectionFuture:
         """Queue the rank-``ceil(n/2)`` query."""
         return self.select(data, median_rank(data.n), plan, **overrides)
 
     def quantiles(self, data: "DistributedArray", qs: Sequence[float],
-                  plan: Optional[SelectionPlan] = None,
+                  plan: SelectionPlan | None = None,
                   **overrides) -> list[SelectionFuture]:
         """Queue one query per quantile fraction; all of them (plus any
         other pending same-array queries) share one flush launch."""
@@ -591,7 +591,7 @@ class Session:
         return [self.select(data, k, plan, **overrides) for k in ks]
 
     def multi_select(self, data: "DistributedArray", ks: Sequence[int],
-                     plan: Optional[SelectionPlan] = None,
+                     plan: SelectionPlan | None = None,
                      **overrides) -> MultiSelectionFuture:
         """Queue a whole rank set as one future (``values`` align with
         ``ks``, duplicates and arbitrary order preserved)."""
@@ -627,7 +627,7 @@ class Session:
         for fut in pending:
             key = (fut.data.fingerprint, fut.plan.cache_key())
             groups.setdefault(key, []).append(fut)
-        first_error: Optional[BaseException] = None
+        first_error: BaseException | None = None
         for (fp, plan_key), futs in groups.items():
             try:
                 self._serve_group(fp, plan_key, futs)
@@ -657,7 +657,7 @@ class Session:
                 hit_ks.add(k)
         self.stats.cache_hits += len(hit_ks)
         self.stats.cache_misses += len(missing)
-        launched: Optional[_LaunchMetrics] = None
+        launched: _LaunchMetrics | None = None
         if missing:
             multi = execute_multi_select(data, missing, plan)
             self.stats.launches += 1
@@ -682,7 +682,7 @@ class Session:
 
     def _multi_report(self, fut: MultiSelectionFuture,
                       entries: dict[int, _CacheEntry], hit_ks: set[int],
-                      launched: Optional[_LaunchMetrics]) -> MultiSelectionReport:
+                      launched: _LaunchMetrics | None) -> MultiSelectionReport:
         data, plan = fut.data, fut.plan
         if not fut.ks:
             # Historical empty-set behaviour: an empty report, no launch.
@@ -712,7 +712,7 @@ class Session:
     # ---------------------------------------------------- immediate queries
 
     def run_select(self, data: "DistributedArray", k: int,
-                   plan: Optional[SelectionPlan] = None,
+                   plan: SelectionPlan | None = None,
                    **overrides) -> SelectionReport:
         """Answer rank ``k`` NOW through the single-rank engine.
 
@@ -741,14 +741,14 @@ class Session:
         return report
 
     def run_median(self, data: "DistributedArray",
-                   plan: Optional[SelectionPlan] = None,
+                   plan: SelectionPlan | None = None,
                    **overrides) -> SelectionReport:
         """Answer the median NOW (rank ``ceil(n/2)`` via
         :meth:`run_select`)."""
         return self.run_select(data, median_rank(data.n), plan, **overrides)
 
     def run_multi_select(self, data: "DistributedArray", ks: Sequence[int],
-                         plan: Optional[SelectionPlan] = None,
+                         plan: SelectionPlan | None = None,
                          **overrides) -> MultiSelectionReport:
         """Answer every rank in ``ks`` NOW: at most one batched launch,
         with cached ranks excluded from the launch entirely."""
@@ -769,7 +769,7 @@ class Session:
         return fut._report
 
     def run_quantiles(self, data: "DistributedArray", qs: Sequence[float],
-                      plan: Optional[SelectionPlan] = None,
+                      plan: SelectionPlan | None = None,
                       **overrides) -> list[SelectionReport]:
         """Answer exact quantiles NOW via one batched launch.
 

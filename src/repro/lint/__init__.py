@@ -1,0 +1,58 @@
+"""``repro.lint`` — the SPMD static analyzer.
+
+Turns the conventions every guarantee of this reproduction rests on into
+machine-checked rules (see DESIGN.md "Static analysis & verification"):
+
+=========  ==============================================================
+Family     Invariant
+=========  ==============================================================
+RPR1xx     all ranks issue the same collective sequence (lockstep)
+RPR2xx     SPMD programs/kernels touch no nondeterminism source
+RPR3xx     launch payloads are picklable (no lambdas / risky closures)
+RPR4xx     local NumPy passes charge the simulated clock
+=========  ==============================================================
+
+Usage::
+
+    python -m repro.lint src examples           # CI entry point
+    python -m repro.lint --list-rules
+    python -m repro.lint --select RPR1 src
+
+or programmatically::
+
+    from repro.lint import run_lint, LintConfig
+    findings = run_lint(["src/repro"], LintConfig(select=("RPR2",)))
+
+Suppress a reviewed finding in place with ``# repro: noqa[RPR101]``; the
+runtime complement for the dynamic cases is ``REPRO_VERIFY=lockstep``
+(:mod:`repro.machine.verify`).
+"""
+
+from .core import (
+    Finding,
+    LintConfig,
+    ModuleContext,
+    Rule,
+    RULE_REGISTRY,
+    all_rules,
+    lint_source,
+    register_rule,
+    run_lint,
+)
+from . import rules  # noqa: F401  (importing registers every rule)
+from .reporters import render_json, render_rule_catalog, render_text
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_rule_catalog",
+    "render_text",
+    "run_lint",
+]

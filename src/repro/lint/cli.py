@@ -1,0 +1,93 @@
+"""``python -m repro.lint [paths]`` — the analyzer's command line.
+
+Exit status: 0 when clean, 1 when findings (or unparseable files) remain,
+2 on usage errors. ``--select``/``--ignore`` take code *prefixes*
+(``RPR1`` = the whole family); ``--costed-path`` rescopes the RPR4xx
+family; ``--format json`` emits machine-readable findings for CI
+annotation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import LintConfig, run_lint
+from .reporters import render_json, render_rule_catalog, render_text
+
+__all__ = ["main"]
+
+
+def _codes(raw: str) -> tuple[str, ...]:
+    return tuple(c.strip().upper() for c in raw.split(",") if c.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "SPMD static analyzer: collective lockstep (RPR1xx), "
+            "determinism (RPR2xx), picklable launch payloads (RPR3xx), "
+            "simulated-cost accounting (RPR4xx)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"],
+        help="files or directories to analyze (default: src examples)",
+    )
+    parser.add_argument(
+        "--select", type=_codes, default=(),
+        help="comma-separated code prefixes to enable (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", type=_codes, default=(),
+        help="comma-separated code prefixes to disable",
+    )
+    parser.add_argument(
+        "--costed-path", action="append", default=None, metavar="PART",
+        help=(
+            "path substring where the RPR4xx cost-accounting family "
+            "applies (repeatable; replaces the defaults)"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="append a per-code count summary (text format)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    config = LintConfig(
+        select=args.select,
+        ignore=args.ignore,
+        costed_paths=(
+            tuple(args.costed_path)
+            if args.costed_path is not None
+            else LintConfig.costed_paths
+        ),
+    )
+    findings = run_lint(args.paths, config)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        text = render_text(findings, statistics=args.statistics)
+        print(text if text else "no findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

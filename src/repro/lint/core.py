@@ -1,0 +1,293 @@
+"""The rule-visitor framework behind ``repro.lint``.
+
+``repro.lint`` is a *domain* static analyzer: it does not re-check general
+Python hygiene (ruff owns that) but the SPMD invariants every guarantee of
+this reproduction rests on — collective lockstep, determinism, picklable
+launch payloads, honest simulated-cost accounting. The pieces:
+
+* :class:`Finding` — one diagnostic: rule code, message, ``path:line:col``
+  and a fix hint.
+* :class:`Rule` — base class; concrete rules register themselves with
+  :func:`register_rule` under a stable ``RPRxxx`` code and implement
+  ``check(module) -> iterable[Finding]``.
+* :class:`ModuleContext` — one parsed file: source, AST, per-line
+  ``# repro: noqa[...]`` suppressions, module pragmas, import aliases.
+* :class:`LintConfig` — rule selection (``RPR1`` selects the family,
+  ``RPR101`` one rule) and path scoping for the cost-accounting family.
+* :func:`run_lint` — parse, run the selected rules, apply suppressions.
+
+Suppression grammar (comments anywhere on the flagged line)::
+
+    x = unsafe()  # repro: noqa[RPR202]
+    y = thing()   # repro: noqa[RPR202,RPR401]
+    z = other()   # repro: noqa          (blanket: every rule)
+
+and one module-level pragma, for implementation modules whose callers pay
+the simulated cost on their behalf (disables the RPR4xx family)::
+
+    # repro: costed-by-caller
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "iter_python_files",
+    "register_rule",
+    "run_lint",
+]
+
+#: Code used for files that fail to parse (always enabled).
+SYNTAX_ERROR_CODE = "RPR000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_, ]+)\])?")
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*([a-z][a-z0-9-]*)\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, and where the cost-accounting family applies.
+
+    ``select``/``ignore`` entries are code *prefixes*: ``RPR1`` matches the
+    whole collective-matching family, ``RPR101`` exactly one rule. An empty
+    ``select`` means every registered rule. ``costed_paths`` are substrings
+    matched against each file's POSIX path; RPR4xx only fires in matching
+    files (the simulated-cost invariant is owned by the kernel/algorithm
+    layers, not by host-side serving code).
+    """
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    costed_paths: tuple[str, ...] = (
+        "kernels/", "selection/", "psort/", "balance/", "stream/"
+    )
+
+    def rule_enabled(self, code: str) -> bool:
+        if any(code.startswith(pref) for pref in self.ignore):
+            return False
+        if not self.select:
+            return True
+        return any(code.startswith(pref) for pref in self.select)
+
+    def in_costed_paths(self, posix_path: str) -> bool:
+        return any(part in posix_path for part in self.costed_paths)
+
+
+class ModuleContext:
+    """One parsed Python file plus everything rules commonly need."""
+
+    def __init__(self, path: Path, source: str, config: LintConfig):
+        self.path = path
+        self.posix_path = path.as_posix()
+        self.source = source
+        self.config = config
+        self.lines = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        #: line -> None (blanket) or frozenset of suppressed codes.
+        self.noqa: dict[int, frozenset[str] | None] = {}
+        #: module-level ``# repro: <pragma>`` markers (e.g. costed-by-caller).
+        self.pragmas: set[str] = set()
+        self._scan_comments()
+        #: local alias -> canonical module name, for top-level imports of
+        #: interest (``import numpy as np`` -> {"np": "numpy"}).
+        self.import_aliases: dict[str, str] = {}
+        self._scan_imports()
+
+    # ------------------------------------------------------------ comments
+
+    def _scan_comments(self) -> None:
+        for i, line in enumerate(self.lines, start=1):
+            if "#" not in line:
+                continue
+            m = _NOQA_RE.search(line)
+            if m:
+                codes = m.group(1)
+                if codes is None:
+                    self.noqa[i] = None
+                else:
+                    parsed = frozenset(
+                        c.strip().upper() for c in codes.split(",") if c.strip()
+                    )
+                    # Merge with an earlier directive on the same line.
+                    prev = self.noqa.get(i, frozenset())
+                    self.noqa[i] = None if prev is None else prev | parsed
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                pm = _PRAGMA_RE.match(stripped)
+                if pm and pm.group(1) != "noqa":
+                    self.pragmas.add(pm.group(1))
+
+    def suppressed(self, finding: Finding) -> bool:
+        entry = self.noqa.get(finding.line, frozenset())
+        if entry is None:
+            return True
+        return finding.code.upper() in entry
+
+    # ------------------------------------------------------------- imports
+
+    def _scan_imports(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def alias_of(self, canonical: str) -> set[str]:
+        """Local names bound to module ``canonical`` (includes itself)."""
+        return {
+            local
+            for local, mod in self.import_aliases.items()
+            if mod == canonical
+        }
+
+    # ------------------------------------------------------------- helpers
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every function/method definition in the module, outermost first."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``code`` (stable ``RPRxxx`` identifier), ``name`` (short
+    kebab-case slug) and ``description`` (one line, shown by
+    ``--list-rules``), then implement :meth:`check`.
+    """
+
+    code: str = "RPR999"
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # Convenience for subclasses.
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        return Finding(
+            path=module.posix_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            hint=hint,
+        )
+
+
+#: code -> rule class, in registration order.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add ``cls`` to the global registry by its code."""
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate lint rule code {cls.code!r}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[type[Rule]]:
+    return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+
+
+# ---------------------------------------------------------------- the run
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to analyze."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" not in f.parts:
+                    yield f
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_source(
+    source: str, path: str | Path, config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint one in-memory module (the unit tests' entry point)."""
+    config = config or LintConfig()
+    try:
+        module = ModuleContext(Path(path), source, config)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=Path(path).as_posix(),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule_cls in all_rules():
+        if not config.rule_enabled(rule_cls.code):
+            continue
+        for f in rule_cls().check(module):
+            if not module.suppressed(f):
+                findings.append(f)
+    findings.sort()
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str | Path], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; returns sorted findings."""
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path, config))
+    findings.sort()
+    return findings

@@ -1,0 +1,40 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .core import Finding, all_rules
+
+__all__ = ["render_text", "render_json", "render_rule_catalog"]
+
+
+def render_text(findings: Sequence[Finding], statistics: bool = False) -> str:
+    """One ``path:line:col: CODE message [hint: ...]`` line per finding."""
+    lines = [f.render() for f in findings]
+    if statistics and findings:
+        lines.append("")
+        counts = Counter(f.code for f in findings)
+        for code, n in sorted(counts.items()):
+            lines.append(f"{n:5d}  {code}")
+    if findings:
+        lines.append(
+            f"found {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps([f.as_dict() for f in findings], indent=2)
+
+
+def render_rule_catalog() -> str:
+    """The ``--list-rules`` table."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines)

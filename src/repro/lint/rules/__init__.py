@@ -1,0 +1,19 @@
+"""Rule families of ``repro.lint``.
+
+Importing this package registers every rule with
+:data:`repro.lint.core.RULE_REGISTRY`:
+
+* ``RPR1xx`` (:mod:`.collectives`) — collective lockstep matching.
+* ``RPR2xx`` (:mod:`.determinism`) — nondeterminism sources in SPMD code.
+* ``RPR3xx`` (:mod:`.picklability`) — unpicklable launch payloads.
+* ``RPR4xx`` (:mod:`.costing`) — uncharged local work.
+
+Adding a rule: subclass :class:`repro.lint.core.Rule` in the matching
+family module (or a new one imported here), pick the next free code in
+the family, decorate with ``@register_rule``, add a dirty + clean fixture
+pair under ``tests/lint_fixtures/`` and a case in ``tests/test_lint.py``.
+"""
+
+from . import collectives, costing, determinism, picklability
+
+__all__ = ["collectives", "costing", "determinism", "picklability"]

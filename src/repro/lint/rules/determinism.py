@@ -1,0 +1,241 @@
+"""RPR2xx — determinism inside SPMD programs and kernels.
+
+The reproduction's headline guarantee is bit-identical values, RNG streams
+and simulated times across 4 backends and 4 topologies. That only holds if
+rank code never consults a nondeterminism source. The sanctioned paths
+are: per-rank seeded generators derived from the plan seed
+(``np.random.default_rng((cfg.seed, ...))``), and the *simulated* clock
+(``ctx.charge_compute`` / ``ctx.clock``) instead of wall time.
+
+Scope: functions that run on simulated ranks (``ctx``/``kernels``/``K``
+parameter, or issuing a collective) plus every function in ``kernels/``
+modules. Host-side code — backends measuring ``wall_time``, benches,
+serving glue — is intentionally out of scope.
+
+* **RPR201** — wall-clock reads (``time.time``/``perf_counter``/...).
+* **RPR202** — global RNG state: any ``random`` module call, any
+  ``np.random.*`` module-state call, and *unseeded* generator
+  construction (``np.random.default_rng()`` with no arguments).
+* **RPR203** — ``id(...)``: CPython addresses differ per process, so
+  id-keyed logic diverges across the process/pool backends.
+* **RPR204** — iteration over a set expression: set order is
+  hash-randomized across processes; sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, register_rule
+from ..spmd import collect_comm_aliases, is_spmd_scope
+
+__all__ = [
+    "WallClockRead",
+    "GlobalRNGState",
+    "IdentityKeyedLogic",
+    "SetIterationOrder",
+]
+
+_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+    }
+)
+
+#: np.random generator constructors that are deterministic *when seeded*.
+_SEEDED_CTORS = frozenset(
+    {"default_rng", "Generator", "PCG64", "Philox", "SFC64", "MT19937",
+     "SeedSequence"}
+)
+
+
+def _spmd_functions(
+    module: ModuleContext,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions the determinism contract applies to."""
+    kernels_module = "kernels/" in module.posix_path
+    for fn in module.functions():
+        if kernels_module or is_spmd_scope(fn, collect_comm_aliases(fn)):
+            yield fn
+
+
+class _ScopedRule(Rule):
+    """Base: run :meth:`check_function` over every SPMD-scope function."""
+
+    def check(self, module: ModuleContext):
+        seen: set[int] = set()
+        for fn in _spmd_functions(module):
+            for f in self.check_function(module, fn):
+                # Nested defs are visited by their own pass too; dedupe.
+                key = hash((f.line, f.col, f.code))
+                if key not in seen:
+                    seen.add(key)
+                    yield f
+
+    def check_function(self, module: ModuleContext, fn: ast.AST):
+        raise NotImplementedError
+
+
+@register_rule
+class WallClockRead(_ScopedRule):
+    code = "RPR201"
+    name = "wall-clock-in-spmd"
+    description = (
+        "wall-clock read inside an SPMD program/kernel (simulated time "
+        "must come from the logical clock)"
+    )
+    hint = (
+        "charge the simulated clock (`ctx.charge_compute(...)`) or read "
+        "`ctx.clock.now`; wall time belongs to the backend layer"
+    )
+
+    def check_function(self, module: ModuleContext, fn: ast.AST):
+        time_names = module.alias_of("time")
+        if not time_names:
+            return
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TIME_FNS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in time_names
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{node.func.value.id}.{node.func.attr}()` read inside "
+                    "an SPMD program",
+                    self.hint,
+                )
+
+
+@register_rule
+class GlobalRNGState(_ScopedRule):
+    code = "RPR202"
+    name = "global-rng-in-spmd"
+    description = (
+        "global/module-state RNG inside an SPMD program/kernel (breaks "
+        "cross-backend RNG-stream identity)"
+    )
+    hint = (
+        "derive a per-rank generator from the plan seed: "
+        "`np.random.default_rng((cfg.seed, ctx.rank, salt))`"
+    )
+
+    def check_function(self, module: ModuleContext, fn: ast.AST):
+        random_names = module.alias_of("random")
+        numpy_names = module.alias_of("numpy")
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            base = node.func.value
+            # random.<anything>() — the stdlib module is global state.
+            if isinstance(base, ast.Name) and base.id in random_names:
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib `random.{node.func.attr}()` uses global RNG "
+                    "state",
+                    self.hint,
+                )
+                continue
+            # np.random.<fn>() — module state, or unseeded construction.
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in numpy_names
+            ):
+                attr = node.func.attr
+                if attr in _SEEDED_CTORS:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"`np.random.{attr}()` without a seed is "
+                            "entropy-seeded (nondeterministic)",
+                            self.hint,
+                        )
+                else:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`np.random.{attr}()` mutates NumPy's global RNG "
+                        "state",
+                        self.hint,
+                    )
+
+
+@register_rule
+class IdentityKeyedLogic(_ScopedRule):
+    code = "RPR203"
+    name = "id-keyed-in-spmd"
+    description = (
+        "`id(...)` inside an SPMD program/kernel (object addresses differ "
+        "across processes, so id-keyed logic diverges on the process/pool "
+        "backends)"
+    )
+    hint = "key by value (fingerprint/bytes) or by (rank, index) instead"
+
+    def check_function(self, module: ModuleContext, fn: ast.AST):
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "`id(...)` is a per-process address, not a stable key",
+                    self.hint,
+                )
+
+
+@register_rule
+class SetIterationOrder(_ScopedRule):
+    code = "RPR204"
+    name = "set-iteration-in-spmd"
+    description = (
+        "iteration over a set expression inside an SPMD program/kernel "
+        "(set order is hash-randomized across processes)"
+    )
+    hint = "iterate `sorted(...)` of the set so every rank sees one order"
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"set", "frozenset"}
+        )
+
+    def check_function(self, module: ModuleContext, fn: ast.AST):
+        for node in ast.walk(fn):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield self.finding(
+                        module,
+                        it,
+                        "iterating a set draws a hash-randomized order",
+                        self.hint,
+                    )

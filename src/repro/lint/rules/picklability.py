@@ -1,0 +1,223 @@
+"""RPR3xx — picklable launch payloads.
+
+The process and pool backends ship the SPMD program (or a job descriptor
+referencing it) across process boundaries. PR 6 paid for this invariant
+the hard way: an unpicklable payload died silently on multiprocessing's
+queue feeder thread and stranded the sibling ranks until the stall
+timeout. These rules catch the static half at the launch seams
+(``machine.run`` / ``runtime.run`` / ``run_spmd`` / ``Machine(...).run``):
+
+* **RPR301** — a ``lambda`` anywhere in a launch call's arguments.
+  Lambdas cannot be pickled at all; even on in-process backends they make
+  the launch silently backend-dependent.
+* **RPR302** — a locally defined program function that closes over a
+  resource that cannot cross a process boundary: open files, locks /
+  events / semaphores, generators, sockets, or ``Machine`` / runtime /
+  backend objects. Closures ride the pool backend's one-shot inherited
+  fork, but captured handles are duplicated per process — locks stop
+  excluding, file offsets diverge, machines nest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, register_rule
+
+__all__ = ["LambdaLaunchPayload", "RiskyClosureCapture"]
+
+#: Receivers whose ``.run(...)`` is an SPMD launch seam.
+_SEAM_BASES = frozenset({"machine", "runtime"})
+_SEAM_CLASSES = frozenset({"Machine", "SPMDRuntime"})
+_SEAM_FUNCS = frozenset({"run_spmd"})
+
+#: Constructors whose results must not be captured by a launched closure.
+_RISKY_CTORS: dict[str, str] = {
+    "open": "an open file handle",
+    "Lock": "a lock",
+    "RLock": "a lock",
+    "Semaphore": "a semaphore",
+    "BoundedSemaphore": "a semaphore",
+    "Condition": "a condition variable",
+    "Event": "an event",
+    "Barrier": "a barrier",
+    "Queue": "a queue",
+    "socket": "a socket",
+    "iter": "a live iterator",
+    "Machine": "a Machine (nests the runtime into its own workers)",
+    "SPMDRuntime": "a runtime object",
+}
+
+
+def is_launch_seam(node: ast.Call) -> bool:
+    """Is this call one of the SPMD launch entry points?"""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _SEAM_FUNCS
+    if not (isinstance(func, ast.Attribute) and func.attr == "run"):
+        return False
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id in _SEAM_BASES
+    if isinstance(base, ast.Attribute):
+        return base.attr in _SEAM_BASES
+    if isinstance(base, ast.Call) and isinstance(base.func, ast.Name):
+        return base.func.id in _SEAM_CLASSES
+    return False
+
+
+def _program_argument(node: ast.Call) -> ast.expr | None:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "fn":
+            return kw.value
+    return None
+
+
+def _risky_bindings(scope: ast.AST) -> dict[str, str]:
+    """Names in ``scope`` bound to resources that cannot cross processes."""
+    risky: dict[str, str] = {}
+
+    def classify(value: ast.expr) -> str | None:
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator"
+        if isinstance(value, ast.Call):
+            f = value.func
+            name = f.id if isinstance(f, ast.Name) else (
+                f.attr if isinstance(f, ast.Attribute) else None
+            )
+            if name in _RISKY_CTORS:
+                return _RISKY_CTORS[name]
+        return None
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            kind = classify(node.value)
+            if kind:
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        risky[t.id] = kind
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            kind = classify(node.context_expr)
+            if kind and isinstance(node.optional_vars, ast.Name):
+                risky[node.optional_vars.id] = kind
+    return risky
+
+
+def _free_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names loaded in ``fn`` (or its nested scopes) but bound outside it."""
+    bound: set[str] = set()
+    loaded: set[str] = set()
+    params = fn.args
+    for p in (*params.posonlyargs, *params.args, *params.kwonlyargs):
+        bound.add(p.arg)
+    if params.vararg:
+        bound.add(params.vararg.arg)
+    if params.kwarg:
+        bound.add(params.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+            else:
+                bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                bound.add(node.name)
+        elif isinstance(node, ast.Lambda):
+            a = node.args
+            for p in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+                bound.add(p.arg)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return loaded - bound
+
+
+def _scope_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """Statements belonging to ``scope``, descending through compound
+    statements (with/if/for/try) but never into nested function scopes."""
+    stack: list[ast.stmt] = list(getattr(scope, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+
+
+def _launch_calls(module: ModuleContext) -> Iterator[ast.Call]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and is_launch_seam(node):
+            yield node
+
+
+@register_rule
+class LambdaLaunchPayload(Rule):
+    code = "RPR301"
+    name = "lambda-launch-payload"
+    description = (
+        "lambda in the arguments of an SPMD launch (lambdas are "
+        "unpicklable; the process/pool backends reject them)"
+    )
+    hint = "use a module-level `def` (or functools.partial over one)"
+
+    def check(self, module: ModuleContext):
+        for call in _launch_calls(module):
+            for sub in ast.walk(call):
+                if isinstance(sub, ast.Lambda):
+                    yield self.finding(
+                        module,
+                        sub,
+                        "lambda passed into an SPMD launch",
+                        self.hint,
+                    )
+
+
+@register_rule
+class RiskyClosureCapture(Rule):
+    code = "RPR302"
+    name = "risky-closure-capture"
+    description = (
+        "launched program closes over a resource that cannot cross a "
+        "process boundary (file handle, lock, generator, Machine, ...)"
+    )
+    hint = (
+        "pass the data through `rank_args`/`args` instead, or open the "
+        "resource inside the program body"
+    )
+
+    def check(self, module: ModuleContext):
+        # Map: enclosing function scope -> its launch calls.
+        scopes: list[ast.AST] = [module.tree, *module.functions()]
+        for scope in scopes:
+            local_defs = {
+                n.name: n
+                for n in _scope_statements(scope)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            # Only nested defs can capture function locals.
+            if isinstance(scope, ast.Module):
+                continue
+            risky = _risky_bindings(scope)
+            if not risky:
+                continue
+            for call in ast.walk(scope):
+                if not (isinstance(call, ast.Call) and is_launch_seam(call)):
+                    continue
+                prog = _program_argument(call)
+                if not (isinstance(prog, ast.Name) and prog.id in local_defs):
+                    continue
+                captured = _free_names(local_defs[prog.id]) & set(risky)
+                for name in sorted(captured):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"program `{prog.id}` closes over `{name}` "
+                        f"({risky[name]})",
+                        self.hint,
+                    )

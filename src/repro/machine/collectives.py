@@ -51,6 +51,10 @@ every execution backend shares the cost/semantics logic above it:
 from __future__ import annotations
 
 import math
+import os
+import sys
+import zlib
+from collections import Counter
 from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
@@ -64,6 +68,7 @@ from .trace import NullTracer, TraceEvent
 
 __all__ = [
     "CollectiveEngine",
+    "LockstepVerifier",
     "Rendezvous",
     "SharedRendezvous",
     "payload_words",
@@ -113,6 +118,90 @@ def payload_words(obj: Any) -> float:
     # Fallback for exotic payloads: charge one word; simulated fidelity for
     # such objects is not meaningful anyway.
     return 1.0
+
+
+#: Directory containing the machine layer; stack frames inside it are
+#: runtime plumbing, the first frame *outside* it is the collective's
+#: algorithm-level call site.
+_MACHINE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _call_site() -> str:
+    """``pkg/file.py:line`` of the algorithm frame issuing a collective."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not os.path.abspath(filename).startswith(_MACHINE_DIR):
+            parent = os.path.basename(os.path.dirname(filename))
+            name = os.path.basename(filename)
+            return f"{parent}/{name}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class LockstepVerifier:
+    """Audits that every rank issues the same collective sequence from the
+    same call sites (``REPRO_VERIFY=lockstep``).
+
+    The op-name check in :meth:`CollectiveEngine._rendezvous` already turns
+    *different collectives* into a :class:`RankMismatchError`. This verifier
+    sharpens it: each rank's deposit token is extended with the issuing call
+    site, the rank's collective sequence number, and a running CRC over its
+    entire ``(op, site)`` history, so two ranks that happen to issue the
+    same primitive **from different program points** — a latent divergence
+    the plain check cannot see — also collide at the rendezvous, and the
+    error names the first divergent rank, its op, and both call sites.
+
+    ``pairwise_exchange`` is exempt from call-site matching (its site is
+    recorded as ``*``): the primitive is asymmetric by contract — partnered
+    and partnerless ranks legitimately reach it through different branches
+    (see :mod:`repro.balance.dimension_exchange`) — so only the op identity
+    and sequence position are folded in.
+
+    The verifier alters only the token deposited on the rendezvous board,
+    never clocks, schedules, payloads, or traces: simulated times stay
+    bit-identical with the verifier on.
+    """
+
+    #: Base ops whose call sites legitimately differ across ranks.
+    SITE_EXEMPT = frozenset({"pairwise_exchange"})
+
+    def __init__(self, n_ranks: int):
+        self.n_ranks = n_ranks
+        self._seq = [0] * n_ranks
+        self._hist = [0] * n_ranks
+
+    def annotate(self, rank: int, op: str) -> str:
+        """Extend ``op`` into this rank's verification token."""
+        base = op.split("@", 1)[0]
+        site = "*" if base in self.SITE_EXEMPT else _call_site()
+        seq = self._seq[rank]
+        self._seq[rank] = seq + 1
+        hist = zlib.crc32(f"{op}|{site}".encode(), self._hist[rank])
+        self._hist[rank] = hist
+        return f"{op}|{site}|{seq}|{hist:08x}"
+
+    @staticmethod
+    def _parse(token: str) -> tuple[str, str, str, str]:
+        parts = token.split("|")
+        if len(parts) == 4:
+            return parts[0], parts[1], parts[2], parts[3]
+        return token, "?", "?", "?"
+
+    def mismatch_error(self, tokens: list[str]) -> RankMismatchError:
+        """Diagnose a failed rendezvous: name the first divergent rank."""
+        majority, _count = Counter(tokens).most_common(1)[0]
+        maj_op, maj_site, seq, _h = self._parse(majority)
+        divergent = [r for r, t in enumerate(tokens) if t != majority]
+        first = divergent[0]
+        op, site, _s, _h = self._parse(tokens[first])
+        agree = self.n_ranks - len(divergent)
+        return RankMismatchError(
+            f"lockstep verification failed at collective #{seq}: rank "
+            f"{first} issued `{op}` from {site} while {agree} rank(s) "
+            f"issued `{maj_op}` from {maj_site} "
+            f"(divergent ranks: {divergent})"
+        )
 
 
 class Rendezvous(Protocol):
@@ -178,7 +267,7 @@ class CollectiveEngine:
 
     def __init__(
         self, n_ranks: int, model: CostModel, tracer=None, rendezvous=None,
-        topology: Topology | None = None,
+        topology: Topology | None = None, verifier: LockstepVerifier | None = None,
     ):
         self.n_ranks = n_ranks
         self.model = model
@@ -189,6 +278,11 @@ class CollectiveEngine:
         self.topology: Topology = (
             topology if topology is not None else CrossbarTopology(n_ranks)
         )
+        # Resolved at construction so forked/spawned workers (which build
+        # their own engine) inherit the setting through the environment.
+        if verifier is None and os.environ.get("REPRO_VERIFY") == "lockstep":
+            verifier = LockstepVerifier(n_ranks)
+        self.verifier = verifier
         #: Barrier of the shared rendezvous (None for message-passing ones);
         #: kept as an attribute for the runtime's abort path and tests.
         self.barrier = getattr(self.rendezvous, "barrier", None)
@@ -222,10 +316,13 @@ class CollectiveEngine:
         clock: LogicalClock,
     ) -> tuple[list[Any], float]:
         """Deposit ``value``; return (all values, max clock across ranks)."""
-        ops, values, tmax = self.rendezvous.exchange(rank, op, value, clock.now)
+        token = op if self.verifier is None else self.verifier.annotate(rank, op)
+        ops, values, tmax = self.rendezvous.exchange(rank, token, value, clock.now)
         distinct = set(ops)
         if len(distinct) != 1:
             self.abort()
+            if self.verifier is not None:
+                raise self.verifier.mismatch_error(ops)
             raise RankMismatchError(
                 f"ranks disagree on collective: {sorted(distinct)}"
             )

@@ -18,7 +18,6 @@ final Steps). This module holds that skeleton's common pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -79,10 +78,10 @@ class SelectionConfig:
     balancer: Balancer = field(default_factory=NoBalance)
     sequential_method: SelectMethod = "randomized"
     seed: int = 0
-    max_iterations: Optional[int] = None
-    endgame_threshold: Optional[int] = None
-    impl_override: Optional[SelectMethod] = None
-    kernels: Optional[str] = None
+    max_iterations: int | None = None
+    endgame_threshold: int | None = None
+    impl_override: SelectMethod | None = None
+    kernels: str | None = None
 
     def iteration_guard(self, n: int) -> int:
         if self.max_iterations is not None:

@@ -167,9 +167,11 @@ def fast_randomized_select(
     shard: np.ndarray,
     k: int,
     cfg: SelectionConfig,
-    params: FastRandomizedParams = FastRandomizedParams(),
+    params: FastRandomizedParams | None = None,
 ) -> tuple[object, SelectionStats]:
     """SPMD entry point for fast randomized selection."""
+    if params is None:
+        params = FastRandomizedParams()
     return contract_select(
         ctx, shard, k, cfg, FastRandomizedStrategy(params)
     )

@@ -35,7 +35,7 @@ survivor fraction the refinement pre-filter enjoys.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 
@@ -75,9 +75,9 @@ class QuantileSketch:
     def __init__(
         self,
         eps: float = 0.01,
-        keys: Optional[np.ndarray] = None,
-        rmin: Optional[np.ndarray] = None,
-        rmax: Optional[np.ndarray] = None,
+        keys: np.ndarray | None = None,
+        rmin: np.ndarray | None = None,
+        rmax: np.ndarray | None = None,
         count: int = 0,
     ):
         self.eps = _check_eps(eps)
@@ -282,13 +282,13 @@ class QuantileSketch:
 
 
 def merge_all(sketches: Iterable[QuantileSketch],
-              eps: Optional[float] = None) -> QuantileSketch:
+              eps: float | None = None) -> QuantileSketch:
     """Left-fold merge of any number of sketches (deterministic order).
 
     Every rank of an SPMD launch folds the same Global Concatenate payload
     in the same order, so all ranks hold the identical merged summary.
     """
-    merged: Optional[QuantileSketch] = None
+    merged: QuantileSketch | None = None
     for sk in sketches:
         merged = sk if merged is None else merged.merge(sk)
     if merged is None:

@@ -40,7 +40,6 @@ answer against the content at flush time.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
 
 import numpy as np
 
@@ -64,7 +63,7 @@ class _Batch:
         self.parts = parts
         self.count = count
         self.sketches: dict[float, list[QuantileSketch]] = {}
-        self._digests: Optional[list[bytes]] = None
+        self._digests: list[bytes] | None = None
 
     def rank_sketches(self, eps: float) -> list[QuantileSketch]:
         """Per-rank sketches of this batch's slices (built once per eps)."""
@@ -111,7 +110,7 @@ class StreamingArray(DistributedArray):
         self,
         machine: Machine,
         dtype=None,
-        window: Optional[int] = None,
+        window: int | None = None,
         window_mode: str = "sliding",
     ):
         if window is not None and (not isinstance(window, int)
@@ -138,13 +137,13 @@ class StreamingArray(DistributedArray):
         #: Monotone mutation counter (append or retirement).
         self.generation = 0
         self._next_batch_id = 0
-        self._rank_hashers: Optional[list] = None
+        self._rank_hashers: list | None = None
         #: Set by the first retirement: the fingerprint then chains live
         #: per-batch digests instead of the running per-rank byte hashes
         #: (see :attr:`fingerprint`).
         self._windowed = False
-        self._shards_cache: Optional[list[np.ndarray]] = None
-        self._fingerprint: Optional[str] = None
+        self._shards_cache: list[np.ndarray] | None = None
+        self._fingerprint: str | None = None
         self._sketch_cache: dict = {}
 
     # ------------------------------------------------------------- ingest

@@ -1,0 +1,32 @@
+"""RPR1xx near-misses: rank-dependent *values*, never rank-dependent
+*reachability* — the analyzer must stay silent on every pattern here."""
+
+
+def rank_dependent_value(ctx, value):
+    # The classic root-broadcast idiom: the argument depends on the rank,
+    # the call itself is reached by every rank.
+    return ctx.comm.broadcast(value if ctx.rank == 0 else None, root=0)
+
+
+def local_work_in_branch(ctx, shard):
+    # Rank-dependent branch containing only local compute; the collective
+    # afterwards is reached by all ranks.
+    if ctx.rank == 0:
+        shard = shard * 2
+    return ctx.comm.combine(int(shard.sum()))
+
+
+def size_trip_count(ctx):
+    # ctx.size is identical on every rank — a fine trip count.
+    total = 0
+    for _ in range(ctx.size):
+        total += ctx.comm.combine(1)
+    return total
+
+
+def branch_on_combined(ctx, n):
+    # A combine result is globally agreed: branching on it keeps lockstep.
+    remaining = ctx.comm.combine(n)
+    while remaining > 1:
+        remaining = ctx.comm.combine(remaining // 2)
+    return remaining

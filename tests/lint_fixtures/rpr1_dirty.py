@@ -1,0 +1,29 @@
+"""RPR1xx true positives: collectives under rank-dependent control flow.
+
+Seeded findings (asserted exactly by tests/test_lint.py):
+
+* line 13 — RPR101: combine only on rank 0.
+* line 20 — RPR102: combine inside a rank-trip-count loop.
+* line 27 — RPR103: rank-dependent early return before a barrier.
+"""
+
+
+def branch_deadlock(ctx):
+    if ctx.rank == 0:
+        return ctx.comm.combine(1)
+    return None
+
+
+def loop_deadlock(ctx):
+    total = 0
+    for _ in range(ctx.rank):
+        total += ctx.comm.combine(1)
+    return total
+
+
+def early_return_deadlock(ctx):
+    me = ctx.rank
+    if me > 0:
+        return None
+    ctx.comm.barrier()
+    return me

@@ -1,0 +1,24 @@
+"""RPR2xx near-misses: the sanctioned determinism idioms, plus host-side
+code where wall clocks are legitimate."""
+
+import time
+
+import numpy as np
+
+
+def seeded_program(ctx, shard, seed):
+    # Per-rank generator derived from the plan seed: the sanctioned path.
+    rng = np.random.default_rng((seed, ctx.rank))
+    ranks = set(range(ctx.size))
+    ordered = sorted(ranks)  # sorted() normalizes set order
+    total = float(shard.sum()) + rng.random() + ordered[0]
+    return ctx.comm.combine(total)
+
+
+def host_side_timer(launches):
+    # No ctx parameter, no collectives: backend/bench code may read the
+    # wall clock freely.
+    t0 = time.perf_counter()
+    for launch in launches:
+        launch()
+    return time.perf_counter() - t0

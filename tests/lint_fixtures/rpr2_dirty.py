@@ -1,0 +1,20 @@
+"""RPR2xx true positives: nondeterminism sources inside an SPMD program."""
+
+import random
+import time
+
+import numpy as np
+
+
+def nondeterministic_program(ctx, shard):
+    t0 = time.perf_counter()  # RPR201: wall clock
+    noise = random.random()  # RPR202: stdlib global RNG
+    np.random.seed(ctx.rank)  # RPR202: numpy module state
+    draw = np.random.rand()  # RPR202: numpy module state
+    rng = np.random.default_rng()  # RPR202: entropy-seeded generator
+    cache = {id(shard): draw}  # RPR203: id-keyed logic
+    ranks = set(range(ctx.size))
+    order = [r for r in ranks]
+    for r in {0, 1}:  # RPR204: set iteration order
+        order.append(r)
+    return ctx.comm.combine(t0 + noise + rng.random() + len(cache) + len(order))

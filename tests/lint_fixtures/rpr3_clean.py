@@ -1,0 +1,18 @@
+"""RPR3xx near-misses: picklable closures and lambdas away from the
+launch seams."""
+
+
+def plain_closure(machine, shards, threshold):
+    # Closing over plain data (ints, arrays) is fine: the pool backend's
+    # inherited fork carries it, and it pickles on the process backend.
+    scale = threshold * 2
+
+    def program(ctx, shard):
+        return (shard > scale).sum()
+
+    return machine.run(program, rank_args=[(s,) for s in shards])
+
+
+def lambda_outside_seam(reports):
+    # Lambdas are only flagged inside launch-call arguments.
+    return sorted(reports, key=lambda r: r.simulated_time)

@@ -1,0 +1,27 @@
+"""RPR3xx true positives: unpicklable payloads at the launch seams."""
+
+import threading
+
+
+def lambda_payload(machine):
+    return machine.run(lambda ctx: ctx.rank, rank_args=None)
+
+
+def lock_capture(machine, shards):
+    lock = threading.Lock()
+
+    def program(ctx, shard):
+        with lock:
+            return shard.sum()
+
+    return machine.run(program, rank_args=[(s,) for s in shards])
+
+
+def file_capture(machine, shards, path):
+    with open(path) as handle:
+
+        def program(ctx, shard):
+            handle.write(str(shard.sum()))
+            return shard.sum()
+
+        return machine.run(program, rank_args=[(s,) for s in shards])

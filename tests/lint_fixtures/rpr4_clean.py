@@ -1,0 +1,24 @@
+"""RPR4xx near-misses: charged passes, costed wrappers, and pure kernels
+whose callers own the charging."""
+
+import numpy as np
+
+
+def charged_median(ctx, model, shard):
+    # Explicit charge next to the pass: the honest pattern.
+    n = max(int(shard.size), 1)
+    ctx.charge_compute(model.compute.sort_per_cmp * n * np.log2(max(n, 2)))
+    ordered = np.sort(shard)
+    return ctx.comm.broadcast(ordered[ordered.size // 2], root=0)
+
+
+def costed_wrapper_median(ctx, K, shard):
+    # Every CostedKernels method charges internally.
+    ordered = K.sort(shard)
+    return ctx.comm.broadcast(ordered[ordered.size // 2], root=0)
+
+
+def pure_kernel(arr, pivot):
+    # No ctx/K seam in scope: implementation kernels are charged by their
+    # CostedKernels callers, not here.
+    return np.concatenate([arr[arr < pivot], arr[arr >= pivot]])

@@ -1,0 +1,14 @@
+"""RPR4xx true positive: an uncharged NumPy pass in charge-capable code.
+
+Analyzed with ``costed_paths=("lint_fixtures",)`` so the family applies
+here (the shipped default scopes it to kernels/selection/psort/balance/
+stream paths).
+"""
+
+import numpy as np
+
+
+def silent_median(ctx, shard):
+    ordered = np.sort(shard)  # RPR401: O(n log n) pass, clock untouched
+    merged = np.concatenate([ordered, ordered])  # RPR401: O(n) copy
+    return ctx.comm.broadcast(merged[merged.size // 2], root=0)

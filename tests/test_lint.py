@@ -1,0 +1,317 @@
+"""Golden tests for the ``repro.lint`` static analyzer.
+
+Three layers:
+
+* framework behavior — noqa suppressions, module pragmas, config
+  selection, syntax-error findings, CLI exit codes and JSON output;
+* golden fixtures — every rule family flags its seeded dirty fixture at
+  exact (code, line) positions and stays silent on the clean near-miss;
+* self-lint — the shipped ``src/repro`` + ``examples`` trees are pinned
+  clean, so a regression that introduces a real finding (or a rule that
+  starts over-firing on sanctioned idioms) fails CI here first.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    all_rules,
+    lint_source,
+    run_lint,
+)
+from repro.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO = Path(__file__).resolve().parent.parent
+
+# RPR4xx only applies under costed paths; point it at the fixture dir.
+FIXTURE_CONFIG = LintConfig(costed_paths=("lint_fixtures/",))
+
+
+def lint_fixture(name, config=FIXTURE_CONFIG):
+    path = FIXTURES / name
+    return lint_source(path.read_text(), path, config)
+
+
+def codes_and_lines(findings):
+    return [(f.code, f.line) for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# Golden fixtures: exact codes and lines.
+# ---------------------------------------------------------------------------
+
+
+EXPECTED_DIRTY = {
+    "rpr1_dirty.py": [
+        ("RPR101", 13),
+        ("RPR102", 20),
+        ("RPR103", 27),
+    ],
+    "rpr2_dirty.py": [
+        ("RPR201", 10),
+        ("RPR202", 11),
+        ("RPR202", 12),
+        ("RPR202", 13),
+        ("RPR202", 14),
+        ("RPR203", 15),
+        ("RPR204", 18),
+    ],
+    "rpr3_dirty.py": [
+        ("RPR301", 7),
+        ("RPR302", 17),
+        ("RPR302", 27),
+    ],
+    "rpr4_dirty.py": [
+        ("RPR401", 12),
+        ("RPR401", 13),
+    ],
+}
+
+CLEAN_FIXTURES = [
+    "rpr1_clean.py",
+    "rpr2_clean.py",
+    "rpr3_clean.py",
+    "rpr4_clean.py",
+]
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_DIRTY))
+def test_dirty_fixture_flags_exact_positions(name):
+    assert codes_and_lines(lint_fixture(name)) == EXPECTED_DIRTY[name]
+
+
+@pytest.mark.parametrize("name", CLEAN_FIXTURES)
+def test_clean_fixture_stays_silent(name):
+    assert lint_fixture(name) == []
+
+
+def test_every_rule_family_covered_by_fixtures():
+    flagged = {
+        code[:4]
+        for expected in EXPECTED_DIRTY.values()
+        for code, _ in expected
+    }
+    families = {rule.code[:4] for rule in all_rules()}
+    assert families <= flagged
+
+
+# ---------------------------------------------------------------------------
+# Framework behavior.
+# ---------------------------------------------------------------------------
+
+
+def _lint_snippet(source, path="tests/lint_fixtures/snippet.py", config=None):
+    return lint_source(
+        textwrap.dedent(source), Path(path), config or FIXTURE_CONFIG
+    )
+
+
+def test_noqa_single_code_suppresses():
+    findings = _lint_snippet(
+        """
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.comm.barrier()  # repro: noqa[RPR101]
+        """
+    )
+    assert findings == []
+
+
+def test_noqa_other_code_does_not_suppress():
+    findings = _lint_snippet(
+        """
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.comm.barrier()  # repro: noqa[RPR102]
+        """
+    )
+    assert [f.code for f in findings] == ["RPR101"]
+
+
+def test_blanket_noqa_suppresses_everything_on_line():
+    findings = _lint_snippet(
+        """
+        import time
+
+        def program(ctx):
+            if ctx.rank == 0:
+                return time.time(), ctx.comm.barrier()  # repro: noqa
+        """
+    )
+    assert findings == []
+
+
+def test_noqa_code_list():
+    findings = _lint_snippet(
+        """
+        import time
+
+        def program(ctx):
+            if ctx.rank == 0:
+                return time.time(), ctx.comm.barrier()  # repro: noqa[RPR101, RPR201]
+        """
+    )
+    assert findings == []
+
+
+def test_costed_by_caller_pragma_disables_rpr4():
+    source = """
+    # repro: costed-by-caller
+    import numpy as np
+
+    def helper(ctx, arr):
+        return np.sort(arr)
+    """
+    assert _lint_snippet(source) == []
+    # Without the pragma the same module is flagged.
+    stripped = source.replace("# repro: costed-by-caller", "")
+    assert [f.code for f in _lint_snippet(stripped)] == ["RPR401"]
+
+
+def test_rpr4_ignores_uncosted_paths():
+    findings = _lint_snippet(
+        """
+        import numpy as np
+
+        def helper(ctx, arr):
+            return np.sort(arr)
+        """,
+        path="src/repro/report.py",
+        config=LintConfig(),
+    )
+    assert findings == []
+
+
+def test_select_and_ignore_prefixes():
+    source = """
+    import time
+
+    def program(ctx):
+        if ctx.rank == 0:
+            return time.time(), ctx.comm.barrier()
+    """
+    both = _lint_snippet(source)
+    assert sorted(f.code for f in both) == ["RPR101", "RPR201"]
+    only_one = _lint_snippet(
+        source, config=LintConfig(select=("RPR2",))
+    )
+    assert [f.code for f in only_one] == ["RPR201"]
+    without = _lint_snippet(
+        source, config=LintConfig(ignore=("RPR2",))
+    )
+    assert [f.code for f in without] == ["RPR101"]
+
+
+def test_syntax_error_becomes_rpr000():
+    findings = _lint_snippet("def broken(:\n")
+    assert [f.code for f in findings] == ["RPR000"]
+
+
+def test_finding_render_format():
+    (finding,) = _lint_snippet(
+        """
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.comm.barrier()
+        """
+    )
+    rendered = finding.render()
+    assert rendered.startswith("tests/lint_fixtures/snippet.py:4:")
+    assert "RPR101" in rendered
+    assert "[hint:" in rendered
+
+
+def test_rule_registry_is_complete_and_unique():
+    rules = all_rules()
+    codes = [r.code for r in rules]
+    assert codes == sorted(codes)
+    assert len(codes) == len(set(codes))
+    assert {
+        "RPR101",
+        "RPR102",
+        "RPR103",
+        "RPR201",
+        "RPR202",
+        "RPR203",
+        "RPR204",
+        "RPR301",
+        "RPR302",
+        "RPR401",
+    } <= set(codes)
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_one_on_findings_and_text_output(capsys):
+    rc = lint_main(
+        [str(FIXTURES / "rpr1_dirty.py")]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "RPR101" in out
+    assert "found 3 findings" in out
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    rc = lint_main([str(FIXTURES / "rpr1_clean.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no findings" in out
+
+
+def test_cli_json_format(capsys):
+    rc = lint_main(
+        ["--format", "json", str(FIXTURES / "rpr1_dirty.py")]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert [f["code"] for f in payload] == ["RPR101", "RPR102", "RPR103"]
+    assert all({"path", "line", "col", "message", "hint"} <= set(f) for f in payload)
+
+
+def test_cli_select_filters(capsys):
+    rc = lint_main(
+        ["--select", "RPR102", str(FIXTURES / "rpr1_dirty.py")]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "RPR102" in out and "RPR101" not in out
+
+
+def test_cli_costed_path_override(capsys):
+    rc = lint_main(
+        ["--costed-path", "lint_fixtures", str(FIXTURES / "rpr4_dirty.py")]
+    )
+    assert rc == 1
+    assert "RPR401" in capsys.readouterr().out
+    # Default costed paths exclude the fixture dir, so it comes back clean.
+    assert lint_main([str(FIXTURES / "rpr4_dirty.py")]) == 0
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    rc = lint_main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rule in all_rules():
+        assert rule.code in out
+
+
+# ---------------------------------------------------------------------------
+# Self-lint: the shipped tree must stay clean.
+# ---------------------------------------------------------------------------
+
+
+def test_shipped_tree_is_lint_clean():
+    findings = run_lint(
+        [REPO / "src" / "repro", REPO / "examples"], LintConfig()
+    )
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)

@@ -1,0 +1,149 @@
+"""Runtime lockstep verifier (``REPRO_VERIFY=lockstep``).
+
+The static analyzer (``repro.lint`` RPR1xx) catches rank-dependent
+collective *structure* it can see; the verifier is the dynamic
+complement: every rank's deposit token carries (op, call site, sequence
+number, history CRC), so a divergence the linter cannot prove — or code
+that suppressed a finding wrongly — collides at the rendezvous with a
+diagnostic naming the first divergent rank and both call sites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import RankMismatchError, WorkerError
+from repro.machine import run_spmd
+from repro.machine.collectives import LockstepVerifier
+
+
+@pytest.fixture
+def lockstep(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "lockstep")
+
+
+def _sum_program(ctx, base):
+    rng = np.random.default_rng((1234, ctx.rank))
+    shard = rng.random(257) + base
+    total = ctx.comm.combine(float(shard.sum()))
+    order = ctx.comm.prefix_sum(int(shard.size))
+    pieces = ctx.comm.global_concat(float(shard[0]))
+    ctx.comm.barrier()
+    return total, order, tuple(pieces)
+
+
+def _divergent_op_program(ctx):  # repro: noqa[RPR101]
+    if ctx.rank == 0:
+        ctx.comm.combine(1)
+    else:
+        ctx.comm.barrier()
+
+
+def _divergent_site_program(ctx):  # repro: noqa[RPR101]
+    # Same primitive on every rank, but from two different program points:
+    # invisible to the plain op-name check, caught by the verifier.
+    if ctx.rank == 2:
+        ctx.comm.barrier()
+    else:
+        ctx.comm.barrier()
+
+
+def _pairwise_asymmetric_program(ctx):
+    # Partnered and partnerless ranks reach pairwise_exchange through
+    # different branches; the verifier's site exemption must allow it.
+    if ctx.rank < 2:  # repro: noqa[RPR101]
+        partner = 1 - ctx.rank
+        got = ctx.comm.pairwise_exchange(partner, float(ctx.rank))
+    else:
+        got = ctx.comm.pairwise_exchange(None, None)
+    return ctx.comm.combine(0.0 if got is None else got)
+
+
+class TestVerifierCatchesDivergence:
+    def test_divergent_op_names_rank_and_sites(self, lockstep):
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(_divergent_op_program, 4, backend="threaded")
+        cause = ei.value.cause
+        assert isinstance(cause, RankMismatchError)
+        msg = str(cause)
+        assert "lockstep verification failed" in msg
+        assert "rank 0" in msg
+        assert "combine" in msg and "barrier" in msg
+        assert "test_lockstep_verifier.py" in msg
+        assert "divergent ranks: [0]" in msg
+
+    def test_site_divergence_invisible_without_verifier(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        # Op names agree, so the plain op-name check lets this pass.
+        assert run_spmd(_divergent_site_program, 4, backend="threaded").values == [None] * 4
+
+    def test_same_op_different_call_site_is_caught(self, lockstep):
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(_divergent_site_program, 4, backend="threaded")
+        cause = ei.value.cause
+        assert isinstance(cause, RankMismatchError)
+        msg = str(cause)
+        assert "rank 2" in msg
+        assert msg.count("barrier") == 2
+        assert "divergent ranks: [2]" in msg
+
+    def test_first_collective_has_sequence_zero(self, lockstep):
+        with pytest.raises(WorkerError) as ei:
+            run_spmd(_divergent_op_program, 2, backend="threaded")
+        assert "collective #0" in str(ei.value.cause)
+
+
+class TestVerifierStaysSilentOnCleanRuns:
+    def test_clean_program_runs_and_matches_unverified(self, monkeypatch):
+        baseline = run_spmd(_sum_program, 4, args=(0.5,), backend="threaded")
+        monkeypatch.setenv("REPRO_VERIFY", "lockstep")
+        verified = run_spmd(_sum_program, 4, args=(0.5,), backend="threaded")
+        # Values AND simulated times are bit-identical: the verifier only
+        # changes the token on the rendezvous board, never the pricing.
+        assert verified.values == baseline.values
+        assert verified.clocks == baseline.clocks
+
+    def test_threaded_backend_clean(self, lockstep):
+        res = run_spmd(_sum_program, 4, args=(0.25,), backend="threaded")
+        totals = [v[0] for v in res.values]
+        concats = [v[2] for v in res.values]
+        assert totals[0] == totals[3]
+        assert concats[0] == concats[3]
+
+    def test_pairwise_site_exemption(self, lockstep):
+        res = run_spmd(_pairwise_asymmetric_program, 4, backend="threaded")
+        # Rank 0 receives 1.0, rank 1 receives 0.0, spectators None -> 0.
+        assert res.values == [1.0] * 4
+
+
+class TestVerifierUnit:
+    def test_annotate_token_shape_and_history(self):
+        v = LockstepVerifier(2)
+        t0, t1 = (v.annotate(r, "combine") for r in range(2))
+        assert t0 == t1  # same op, same site line, same seq, same history
+        op, site, seq, hist = t0.split("|")
+        assert op == "combine"
+        assert "tests/test_lockstep_verifier.py:" in site
+        assert seq == "0"
+        assert len(hist) == 8
+        # Histories chain: a later identical op yields a different token.
+        assert v.annotate(0, "combine").split("|")[3] != hist
+
+    def test_pairwise_exempt_site(self):
+        v = LockstepVerifier(2)
+        token = v.annotate(0, "pairwise_exchange")
+        assert token.split("|")[1] == "*"
+
+    def test_mismatch_error_majority_vs_first_divergent(self):
+        v = LockstepVerifier(3)
+        err = v.mismatch_error(
+            [
+                "barrier|a/x.py:10|4|deadbeef",
+                "combine|a/y.py:20|4|deadbeef",
+                "barrier|a/x.py:10|4|deadbeef",
+            ]
+        )
+        msg = str(err)
+        assert "collective #4" in msg
+        assert "rank 1" in msg
+        assert "`combine` from a/y.py:20" in msg
+        assert "`barrier` from a/x.py:10" in msg
