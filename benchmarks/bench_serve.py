@@ -1,0 +1,81 @@
+"""Multi-tenant serving tier: the serving PR's acceptance bar.
+
+Claims pinned here:
+
+1. A mixed multi-tenant trace replayed through a coalescing
+   :class:`~repro.serve.SelectionService` returns answers bit-identical
+   to direct query-at-a-time :class:`~repro.core.session.Session`
+   launches over the same data.
+2. At client concurrency >= 16 the coalescing service beats the
+   query-at-a-time front door on whole-trace throughput, and the
+   advantage GROWS with concurrency (more concurrent queries land in
+   each coalescing window, so fewer launches answer the same trace).
+   Wall-clock-robust on a single core: the win comes from launches NOT
+   executed, not from parallelism.
+3. The p50/p99 the service reports come from its own latency
+   :class:`~repro.stream.sketch.QuantileSketch` — present, ordered, and
+   covering every resolved query.
+
+Full grid: ``python -m repro.bench serve --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_serve_point
+
+N = 32 * KILO
+P = 4
+QUERIES = 48
+CONCURRENCY = (4, 16)
+
+
+@pytest.fixture(scope="module")
+def serve_point():
+    return run_serve_point(
+        "fast_randomized", N, P, queries=QUERIES, concurrency=CONCURRENCY,
+        trials=2,
+    )
+
+
+def test_serve_answers_bit_identical(benchmark, serve_point):
+    pt = benchmark.pedantic(lambda: serve_point, rounds=1, iterations=1)
+    assert pt.answers_agree, (
+        "coalesced service answers must be bit-identical to direct "
+        "query-at-a-time Session answers"
+    )
+
+
+def test_serve_coalescing_beats_query_at_a_time(serve_point):
+    pt = serve_point
+    assert pt.speedup(16) > 1.0, (
+        f"coalescing service must beat query-at-a-time throughput at "
+        f"concurrency 16, got {pt.speedup(16):.2f}x "
+        f"(baseline={pt.baseline_qps:.1f} q/s, c16={pt.qps(16):.1f} q/s)"
+    )
+    assert pt.launches[16] < pt.baseline_launches, (
+        f"the win must come from launches not executed: service paid "
+        f"{pt.launches[16]} vs baseline {pt.baseline_launches}"
+    )
+    assert pt.launches_saved[16] > 0
+
+
+def test_serve_advantage_grows_with_concurrency(serve_point):
+    pt = serve_point
+    assert pt.launches[16] <= pt.launches[4], (
+        f"higher concurrency must coalesce into no more launches: "
+        f"c16={pt.launches[16]} vs c4={pt.launches[4]}"
+    )
+    assert pt.speedup(16) > pt.speedup(4), (
+        f"throughput advantage must grow with concurrency: "
+        f"c4={pt.speedup(4):.2f}x vs c16={pt.speedup(16):.2f}x"
+    )
+
+
+def test_serve_latency_from_own_sketch(serve_point):
+    pt = serve_point
+    for c in CONCURRENCY:
+        assert pt.p50s[c] > 0.0 and pt.p99s[c] > 0.0
+        assert pt.p50s[c] <= pt.p99s[c], (
+            f"sketch quantiles must be ordered at c={c}: "
+            f"p50={pt.p50s[c]}, p99={pt.p99s[c]}"
+        )

@@ -53,10 +53,12 @@ from .core import (
 )
 from .data.generators import DISTRIBUTIONS, describe, generate_shards
 from .errors import (
+    AdmissionError,
     CommunicationError,
     ConfigurationError,
     ConvergenceError,
     ReproError,
+    ServiceClosed,
     WorkerAborted,
     WorkerError,
 )
@@ -68,6 +70,7 @@ from .machine.cost_model import (
     cm5_fast_network,
     zero_cost_model,
 )
+from .serve import SelectionService, ServiceStats
 from .stream import QuantileSketch, StreamingArray
 
 __version__ = "1.0.0"
@@ -83,6 +86,8 @@ __all__ = [
     "SelectionFuture",
     "SelectionPlan",
     "SelectionReport",
+    "SelectionService",
+    "ServiceStats",
     "Session",
     "SessionStats",
     "StreamingArray",
@@ -93,10 +98,12 @@ __all__ = [
     "quantiles",
     "rebalance",
     "select",
+    "AdmissionError",
     "CommunicationError",
     "ConfigurationError",
     "ConvergenceError",
     "ReproError",
+    "ServiceClosed",
     "WorkerAborted",
     "WorkerError",
     "CM5",

@@ -28,6 +28,7 @@ from .harness import (
     run_point,
     run_pool_point,
     run_series,
+    run_serve_point,
     run_session_point,
     run_stream_point,
     run_topology_point,
@@ -546,6 +547,54 @@ def pool(scale: str = "small") -> FigureResult:
                         text, points)
 
 
+def serve(scale: str = "small") -> FigureResult:
+    """The multi-tenant serving tier: a mixed select/quantile/multi-rank
+    trace from several tenants replayed through a coalescing
+    :class:`~repro.serve.SelectionService` at growing client
+    concurrencies, versus the sequential query-at-a-time front door it
+    replaces. Answers are asserted bit-identical; what moves is wall
+    throughput (concurrent queries share batched launches, repeats hit
+    the result cache) — and the p50/p99 columns are read from the
+    service's own latency QuantileSketch."""
+    cfg = _scale(scale)
+    n = min(cfg["n_big"], 128 * KILO)
+    queries = 32 if scale == "small" else 64
+    rows: list[str] = []
+    points: list[PointResult] = []
+    for algo in ("fast_randomized", "randomized"):
+        for p in cfg["bar_p_sweep"][:2]:
+            pt = run_serve_point(
+                algo, n, p, queries=queries,
+                concurrency=(4, 16), trials=max(cfg["trials"], 1),
+            )
+            points.extend(pt.as_points())
+            agree = "ok" if pt.answers_agree else "VALUES MISMATCH"
+            percs = "  ".join(
+                f"c={c}: {pt.qps(c):6.1f} q/s ({pt.speedup(c):4.2f}x, "
+                f"{pt.launches[c]} launches, "
+                f"p99={pt.p99s[c] * 1e3:6.1f} ms)"
+                for c in pt.concurrency
+            )
+            rows.append(
+                f"  {algo:>16s} p={p:<3d} [{agree}]  "
+                f"baseline={pt.baseline_qps:6.1f} q/s "
+                f"({pt.baseline_launches} launches)  {percs}"
+            )
+    text = (
+        f"== Multi-tenant serving tier: coalescing service vs "
+        f"query-at-a-time, n={n // KILO}k, {queries} queries, "
+        "4 tenants ==\n"
+        "Closed-loop clients replay one mixed trace through a\n"
+        "SelectionService; concurrent same-array queries share batched\n"
+        "SPMD launches and repeated ranks hit the result cache, so\n"
+        "throughput grows with concurrency while query-at-a-time pays\n"
+        "one launch per query. p50/p99 are the service's own sketch.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("serve", "Multi-tenant serving tier throughput",
+                        text, points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -560,6 +609,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "session": session,
     "backend": backend,
     "pool": pool,
+    "serve": serve,
     "stream": stream,
     "topology": topology,
 }

@@ -31,6 +31,7 @@ __all__ = [
     "BackendPointResult",
     "PointResult",
     "PoolPointResult",
+    "ServePointResult",
     "SessionPointResult",
     "StreamPointResult",
     "TopologyPointResult",
@@ -38,6 +39,7 @@ __all__ = [
     "run_point",
     "run_multiselect_point",
     "run_pool_point",
+    "run_serve_point",
     "run_session_point",
     "run_series",
     "run_stream_point",
@@ -947,3 +949,214 @@ def run_stream_point(
         replay_launches=statistics.mean(rp_launches),
         trials=trials,
     )
+
+
+@dataclass
+class ServePointResult:
+    """One serving-tier grid point: a multi-tenant query trace replayed
+    through a coalescing :class:`~repro.serve.SelectionService` at several
+    client concurrencies, versus the query-at-a-time front door
+    (:func:`~repro.serve.trace.direct_answers`) it replaces.
+
+    ``wall_times[c]`` is the best-of-``trials`` wall seconds to answer
+    the whole trace with ``c`` closed-loop clients; ``baseline_wall`` is
+    the sequential uncached equivalent. The per-concurrency ``p50s`` /
+    ``p99s`` come from the service's OWN latency
+    :class:`~repro.stream.sketch.QuantileSketch` — the self-observability
+    the serving tier ships with, not an external timer.
+    """
+
+    algorithm: str
+    distribution: str
+    n: int
+    p: int
+    queries: int
+    tenants: int
+    window: float
+    concurrency: tuple[int, ...]
+    #: Sequential query-at-a-time wall seconds (best of trials).
+    baseline_wall: float = 0.0
+    #: Launches the query-at-a-time baseline paid.
+    baseline_launches: int = 0
+    #: Best-of-trials wall seconds per client concurrency.
+    wall_times: dict = field(default_factory=dict)
+    #: SPMD launches the service paid per concurrency.
+    launches: dict = field(default_factory=dict)
+    #: Launches a query-at-a-time front door would have paid extra.
+    launches_saved: dict = field(default_factory=dict)
+    #: p50 / p99 query latency (seconds) from the service's own sketch.
+    p50s: dict = field(default_factory=dict)
+    p99s: dict = field(default_factory=dict)
+    #: Coalesced answers == direct Session answers, bit for bit.
+    answers_agree: bool = True
+    trials: int = 1
+
+    @property
+    def baseline_qps(self) -> float:
+        if not self.baseline_wall:
+            return float("inf")
+        return self.queries / self.baseline_wall
+
+    def qps(self, c: int) -> float:
+        if not self.wall_times[c]:
+            return float("inf")
+        return self.queries / self.wall_times[c]
+
+    def speedup(self, c: int) -> float:
+        """Throughput ratio coalesced-over-baseline at concurrency ``c``
+        (>1: the service beats query-at-a-time)."""
+        if not self.wall_times[c]:
+            return float("inf")
+        return self.baseline_wall / self.wall_times[c]
+
+    def as_points(self) -> list[PointResult]:
+        """CSV-exportable rows: one per concurrency plus the baseline
+        (``iterations`` carries the launch count)."""
+        shared = dict(
+            balancer="none", distribution=self.distribution, n=self.n,
+            p=self.p, simulated_time=0.0, balance_time=0.0,
+            trials=self.trials,
+        )
+        rows = [
+            PointResult(
+                algorithm=f"{self.algorithm}@serve/query-at-a-time",
+                wall_time=self.baseline_wall,
+                iterations=float(self.baseline_launches),
+                **shared,
+            )
+        ]
+        rows.extend(
+            PointResult(
+                algorithm=f"{self.algorithm}@serve/c={c}",
+                wall_time=self.wall_times[c],
+                iterations=float(self.launches[c]),
+                **shared,
+            )
+            for c in self.concurrency
+        )
+        return rows
+
+    def as_json(self) -> dict:
+        """Schema for the committed ``BENCH_serve.json`` artifact."""
+        return {
+            "experiment": "serve",
+            "algorithm": self.algorithm,
+            "distribution": self.distribution,
+            "n": self.n,
+            "p": self.p,
+            "queries": self.queries,
+            "tenants": self.tenants,
+            "window_s": self.window,
+            "trials": self.trials,
+            "baseline_wall_s": self.baseline_wall,
+            "baseline_qps": self.baseline_qps,
+            "baseline_launches": self.baseline_launches,
+            "wall_times_s": {str(c): self.wall_times[c]
+                             for c in self.concurrency},
+            "qps": {str(c): self.qps(c) for c in self.concurrency},
+            "speedup": {str(c): self.speedup(c) for c in self.concurrency},
+            "launches": {str(c): self.launches[c]
+                         for c in self.concurrency},
+            "launches_saved": {str(c): self.launches_saved[c]
+                               for c in self.concurrency},
+            "p50_s": {str(c): self.p50s[c] for c in self.concurrency},
+            "p99_s": {str(c): self.p99s[c] for c in self.concurrency},
+            "answers_agree": self.answers_agree,
+        }
+
+
+def run_serve_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    queries: int = 48,
+    tenants: int = 4,
+    concurrency: tuple[int, ...] = (4, 16),
+    window: float = 0.002,
+    distribution: str = "random",
+    distinct_fracs: int = 32,
+    trials: int = 1,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+    backend=None,
+) -> ServePointResult:
+    """Measure the multi-tenant serving tier on one grid point.
+
+    One synthetic trace (mixed select / quantile / multi-rank queries
+    over ``tenants`` tenants and one registered array) is answered two
+    ways:
+
+    1. **Query-at-a-time** — sequentially, each query its own uncached
+       launch on a fresh :class:`~repro.core.session.Session` (the front
+       door a service replaces);
+    2. **Coalesced** — replayed through a fresh
+       :class:`~repro.serve.SelectionService` per client concurrency
+       ``c`` (closed loop: each client keeps one query outstanding), so
+       concurrent queries share batched launches and repeated ranks hit
+       the result cache.
+
+    Answers are asserted bit-identical between the two; the launch
+    counts, launches-saved and sketch-read p50/p99 land in the result.
+    """
+    import asyncio
+
+    from ..serve import SelectionService, direct_answers, replay, \
+        synthetic_trace
+
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if queries < 1:
+        raise ConfigurationError(f"queries must be >= 1, got {queries}")
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer="none", seed=seed,
+        impl_override=impl_override,
+    )
+    machine = Machine(n_procs=p, cost_model=cost_model or CM5,
+                      backend=backend)
+    data = machine.generate(n, distribution=distribution, seed=seed)
+    trace = synthetic_trace(
+        queries, tenants=tenants, arrays=("a",),
+        distinct_fracs=distinct_fracs, seed=seed,
+    )
+    result = ServePointResult(
+        algorithm=algorithm, distribution=distribution, n=n, p=p,
+        queries=len(trace), tenants=tenants, window=window,
+        concurrency=tuple(concurrency), trials=trials,
+    )
+
+    base_walls = []
+    before = machine.launch_count
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        expected = direct_answers(machine, {"a": data}, trace, plan=plan)
+        base_walls.append(time.perf_counter() - t0)
+    result.baseline_wall = min(base_walls)
+    result.baseline_launches = (machine.launch_count - before) // trials
+
+    async def one_replay(c: int):
+        service = SelectionService(
+            machine, plan, window=window,
+            max_in_flight=max(64, 4 * c), max_per_tenant=max(8, c),
+        )
+        service.register("a", data)
+        async with service:
+            t0 = time.perf_counter()
+            answers = await replay(service, trace, concurrency=c)
+            wall = time.perf_counter() - t0
+            stats = service.stats
+        return answers, wall, stats
+
+    for c in concurrency:
+        walls, answers, stats = [], None, None
+        for _ in range(trials):
+            answers, wall, stats = asyncio.run(one_replay(c))
+            walls.append(wall)
+        result.wall_times[c] = min(walls)
+        result.launches[c] = stats.launches
+        result.launches_saved[c] = stats.launches_saved
+        result.p50s[c] = stats.p50_s
+        result.p99s[c] = stats.p99_s
+        if answers != expected:
+            result.answers_agree = False
+    return result

@@ -104,6 +104,20 @@ class Machine:
         forks-once-serve-many claim is asserted against deltas of this."""
         return self.runtime.fork_count
 
+    @property
+    def reuse_count(self) -> int:
+        """Launches served by an already-live worker generation (see
+        :attr:`SPMDRuntime.reuse_count`); the serving tier's warm-launch
+        receipt."""
+        return self.runtime.reuse_count
+
+    def release_workers(self) -> None:
+        """Release persistent backend state (pool worker generations and
+        shared-memory pins). Safe anytime: the next launch transparently
+        re-provisions. :class:`repro.serve.SelectionService` calls this on
+        graceful shutdown."""
+        self.runtime.release_workers()
+
     # ---------------------------------------------------------------- serving
 
     def session(
@@ -189,6 +203,9 @@ class DistributedArray:
     _fingerprint: str | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    _probe: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n(self) -> int:
@@ -221,15 +238,39 @@ class DistributedArray:
 
     # ------------------------------------------------------------- identity
 
+    def _content_probe(self) -> tuple:
+        """Cheap per-shard content signature: shape/dtype plus a
+        three-point probe (first/middle/last element), mirroring the pool
+        backend's pin-cache staleness guard. O(p) work per query, so the
+        fingerprint property can re-check it on EVERY access."""
+        sig = []
+        for s in self.shards:
+            flat = s.reshape(-1)
+            if flat.size:
+                sig.append((
+                    str(s.dtype), int(flat.size), flat[0].item(),
+                    flat[flat.size // 2].item(), flat[-1].item(),
+                ))
+            else:
+                sig.append((str(s.dtype), 0))
+        return tuple(sig)
+
     @property
     def fingerprint(self) -> str:
         """Content + layout hash: the cache/coalescing identity of this
         array.
 
-        Computed lazily over the shard bytes and memoised; call
-        :meth:`invalidate` after mutating ``shards`` in place so cached
-        results are not served for stale content.
+        Computed lazily over the shard bytes and memoised. A cheap
+        three-point content probe (same contract as the pool backend's pin
+        cache) is re-checked on every access, so the common in-place shard
+        mutations (``d.shards[0][:] = ...``) change the fingerprint — and
+        therefore miss the Session result cache — without any explicit
+        :meth:`invalidate` call. Mutations invisible to the probe (interior
+        writes that leave the first/middle/last elements of every shard
+        intact) still require :meth:`invalidate`.
         """
+        if self._fingerprint is not None and self._probe != self._content_probe():
+            self._fingerprint = None
         if self._fingerprint is None:
             h = hashlib.sha1()
             h.update(str(len(self.shards)).encode())
@@ -239,11 +280,14 @@ class DistributedArray:
                 h.update(str(a.size).encode())
                 h.update(a.tobytes())
             self._fingerprint = h.hexdigest()
+            self._probe = self._content_probe()
         return self._fingerprint
 
     def invalidate(self) -> None:
-        """Forget the memoised fingerprint (shards were mutated in place)."""
+        """Forget the memoised fingerprint (shards were mutated in place
+        beyond what the three-point content probe can see)."""
         self._fingerprint = None
+        self._probe = None
 
     # ---------------------------------------------------------- fluent API
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import numbers
 from dataclasses import dataclass
-from typing import get_args
+from typing import Sequence, get_args
 
 from ..balance.base import Balancer, get_balancer
 from ..errors import ConfigurationError
@@ -34,13 +34,45 @@ from ..machine.topology import validate_topology_spec
 from ..selection import ALGORITHMS, SelectionConfig
 from ..selection.fast_randomized import FastRandomizedParams
 
-__all__ = ["SelectionPlan", "SEQUENTIAL_METHODS", "PREFILTERS", "as_plan"]
+__all__ = [
+    "SelectionPlan",
+    "SEQUENTIAL_METHODS",
+    "PREFILTERS",
+    "as_plan",
+    "validate_rank",
+    "validate_targets",
+]
 
 #: The sequential kernels ``sequential_method`` / ``impl_override`` accept.
 SEQUENTIAL_METHODS: tuple[str, ...] = get_args(SelectMethod)
 
 #: Pre-filter stages a plan may request before the exact contraction.
 PREFILTERS: tuple[str, ...] = ("sketch",)
+
+
+def validate_rank(k, n: int) -> int:
+    """Coerce and range-check one 1-based target rank against ``n`` keys.
+
+    This is THE pre-launch validation seam: every query surface (Session,
+    the launch primitives, the serve tier) funnels target ranks through
+    here *before* any SPMD launch is assembled, so an out-of-range ``k``
+    costs a clean :class:`ConfigurationError` and zero launches instead of
+    a burned launch surfacing as ``WorkerError``.
+    """
+    if not isinstance(k, numbers.Integral) or isinstance(k, bool):
+        raise ConfigurationError(
+            f"rank k must be an integer, got {k!r}"
+        )
+    k = int(k)
+    if not (1 <= k <= max(n, 0)):
+        raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
+    return k
+
+
+def validate_targets(ks: Sequence, n: int) -> list[int]:
+    """Coerce and range-check a whole multi-select target list (shared by
+    every launch path; see :func:`validate_rank`)."""
+    return [validate_rank(k, n) for k in ks]
 
 
 def _check_method(value: str | None, what: str) -> None:

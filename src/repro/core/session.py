@@ -49,7 +49,7 @@ from ..selection import (
     contract_multi_select,
     sort_based_multi_select,
 )
-from .plan import SelectionPlan, as_plan
+from .plan import SelectionPlan, as_plan, validate_rank, validate_targets
 from .reports import MultiSelectionReport, SelectionReport
 
 if TYPE_CHECKING:
@@ -143,12 +143,9 @@ def resolve_multi(plan: SelectionPlan):
 
 
 def validate_ks(ks: Sequence[int], n: int) -> list[int]:
-    """Coerce and range-check a rank set (shared by both launch paths)."""
-    ks = [int(k) for k in ks]
-    for k in ks:
-        if not (1 <= k <= max(n, 0)):
-            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
-    return ks
+    """Coerce and range-check a rank set (shared by both launch paths);
+    delegates to the :func:`repro.core.plan.validate_targets` seam."""
+    return validate_targets(ks, n)
 
 
 def empty_multi_report(
@@ -233,7 +230,13 @@ def execute_select(
     Plans carrying ``prefilter="sketch"`` route to the sketch-accelerated
     exact path (:mod:`repro.stream.refine`): same answer, same launch
     accounting, smaller live set for the contraction.
+
+    ``k`` is range-checked BEFORE any launch is assembled: an out-of-range
+    rank raises :class:`~repro.errors.ConfigurationError` with
+    ``Machine.launch_count`` unchanged (it used to burn a full SPMD launch
+    and surface as ``WorkerError``).
     """
+    k = validate_rank(k, data.n)
     if plan.prefilter == "sketch":
         from ..stream.refine import execute_sketch_select
 
@@ -524,10 +527,7 @@ class Session:
             )
 
     def _check_rank(self, k: int, n: int) -> int:
-        k = int(k)
-        if not (1 <= k <= max(n, 0)):
-            raise ConfigurationError(f"rank k={k} out of range [1, {n}]")
-        return k
+        return validate_rank(k, n)
 
     # LRU cache primitives -------------------------------------------------
 
@@ -724,6 +724,7 @@ class Session:
         and simulated times are bit-identical to the pre-Session API.
         """
         self._check_data(data)
+        k = self._check_rank(k, data.n)
         plan = self._plan_for(plan, overrides)
         self.stats.queries += 1
         key = None

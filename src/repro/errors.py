@@ -56,6 +56,21 @@ class RankMismatchError(CommunicationError):
     """Collective called with inconsistent arguments across ranks."""
 
 
+class AdmissionError(ReproError, RuntimeError):
+    """A serving-tier query was rejected by admission control.
+
+    Raised *pre-launch* by :class:`repro.serve.SelectionService` when the
+    bounded in-flight queue (or the submitting tenant's fair share of it)
+    is full. The query consumed no SPMD launch; retrying after in-flight
+    work drains is always safe.
+    """
+
+
+class ServiceClosed(ReproError, RuntimeError):
+    """A query was submitted to (or cancelled by) a closed
+    :class:`repro.serve.SelectionService`."""
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """A selection algorithm failed to converge within its iteration guard.
 

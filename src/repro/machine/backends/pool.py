@@ -371,8 +371,21 @@ class PoolBackend(ExecutionBackend):
 
     # ------------------------------------------------------------ lifetime
 
+    @property
+    def pinned_bytes(self) -> int:
+        """Shard bytes currently pinned in shared memory — the resident
+        cost a long-lived service carries between launches (bounded by
+        ``MAX_PINNED_BYTES`` via LRU eviction)."""
+        return self._pinned_bytes
+
     def shutdown(self) -> None:
-        """Retire every generation and drop all pins (counters survive)."""
+        """Retire every generation and drop all pins (counters survive).
+
+        This is the hook behind ``SPMDRuntime.release_workers`` — the
+        graceful-shutdown seam a draining ``repro.serve`` service calls.
+        The backend stays usable: the next launch re-pins and re-forks a
+        fresh generation transparently.
+        """
         for pool in self._pools.values():
             pool.teardown()
         self._pools.clear()

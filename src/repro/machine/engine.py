@@ -120,6 +120,24 @@ class SPMDRuntime:
         launches, one fork" is assertable next to :attr:`launch_count`."""
         return getattr(self.backend, "fork_count", 0)
 
+    @property
+    def reuse_count(self) -> int:
+        """Launches served by an already-live worker generation (0 for
+        backends without persistent workers). A long-running service's
+        "fork once, serve many" receipt: on the ``pool`` backend this
+        grows with every warm launch while :attr:`fork_count` stays put."""
+        return getattr(self.backend, "reuse_count", 0)
+
+    def release_workers(self) -> None:
+        """Release any persistent worker state the default backend holds
+        (pool generations, shared-memory pins). A no-op for stateless
+        backends; counters survive, and the next launch transparently
+        re-provisions — this is the graceful-shutdown hook a long-running
+        service calls when it drains."""
+        shutdown = getattr(self.backend, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
 
 def run_spmd(
     fn: Callable[..., Any],

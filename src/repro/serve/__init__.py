@@ -1,0 +1,26 @@
+"""repro.serve — the async multi-tenant serving tier.
+
+:class:`SelectionService` front-doors one shared
+:class:`~repro.core.array.Machine` for many concurrent tenants: queries
+are admitted (bounded, per-tenant fair), held for a short coalescing
+window, answered in batched SPMD launches through the
+:class:`~repro.core.session.Session` machinery, and resolved as
+individual :mod:`asyncio` futures — with per-query latency telemetry
+summarised by the library's own
+:class:`~repro.stream.sketch.QuantileSketch`.
+
+:mod:`repro.serve.trace` synthesises and replays the multi-tenant query
+traces the bench and tests drive the service with.
+"""
+
+from .service import SelectionService, ServiceStats
+from .trace import TraceQuery, direct_answers, replay, synthetic_trace
+
+__all__ = [
+    "SelectionService",
+    "ServiceStats",
+    "TraceQuery",
+    "direct_answers",
+    "replay",
+    "synthetic_trace",
+]

@@ -1,0 +1,180 @@
+"""Multi-tenant query traces: synthesis and replay.
+
+The serving tier's bench and tests need a reproducible stream of mixed
+quantile / rank / multi-rank queries spread over several tenants and
+arrays. :func:`synthetic_trace` builds one deterministically from a seed;
+:func:`replay` plays it through a live :class:`~repro.serve.SelectionService`
+with a closed loop of concurrent clients; :func:`direct_answers` computes
+the ground truth the slow way — one uncached query-at-a-time
+:class:`~repro.core.session.Session` launch per query — which is both the
+bit-identity oracle and the throughput baseline coalescing is measured
+against.
+
+Queries carry rank *fractions*, not ranks, so one trace replays against
+arrays of any size (``frac`` resolves to rank ``max(1, ceil(frac * n))``,
+the library's quantile convention).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.session import Session
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..core.array import Machine
+    from .service import SelectionService
+
+__all__ = ["TraceQuery", "synthetic_trace", "replay", "direct_answers"]
+
+
+@dataclass(frozen=True)
+class TraceQuery:
+    """One query of a trace.
+
+    ``kind`` is ``"select"`` (one rank from ``fracs[0]``), ``"quantile"``
+    (fraction ``fracs[0]`` in ``(0, 1]``) or ``"multi"`` (one batched
+    query over every fraction in ``fracs``).
+    """
+
+    tenant: str
+    array: str
+    kind: str
+    fracs: tuple
+
+    def ranks(self, n: int) -> list[int]:
+        """The 1-based target ranks this query resolves to on ``n`` keys."""
+        return [max(1, int(np.ceil(f * n))) for f in self.fracs]
+
+
+def synthetic_trace(
+    n_queries: int,
+    *,
+    tenants: int = 4,
+    arrays: Sequence[str] = ("a",),
+    kinds: Sequence[str] = ("select", "quantile", "multi"),
+    distinct_fracs: int = 32,
+    multi_width: int = 4,
+    hot_share: float = 0.0,
+    seed: int = 0,
+) -> list:
+    """A deterministic mixed multi-tenant trace.
+
+    Rank fractions are drawn from a fixed palette of ``distinct_fracs``
+    values, so the expected cache-hit rate is controlled by palette size
+    versus trace length. ``hot_share`` routes that extra fraction of
+    queries to tenant 0 on top of the uniform spread — the skewed-tenant
+    workload the fairness cap exists for.
+    """
+    if n_queries < 1:
+        raise ConfigurationError(
+            f"n_queries must be >= 1, got {n_queries}"
+        )
+    if tenants < 1:
+        raise ConfigurationError(f"tenants must be >= 1, got {tenants}")
+    if not (0.0 <= hot_share <= 1.0):
+        raise ConfigurationError(
+            f"hot_share must be in [0, 1], got {hot_share!r}"
+        )
+    bad = [k for k in kinds if k not in ("select", "quantile", "multi")]
+    if bad or not kinds:
+        raise ConfigurationError(f"unknown query kinds: {bad or kinds}")
+    rng = np.random.default_rng(seed)
+    palette = (np.arange(distinct_fracs) + 1) / (distinct_fracs + 1)
+    names = [f"tenant{i}" for i in range(tenants)]
+    out = []
+    for _ in range(n_queries):
+        if hot_share and rng.random() < hot_share:
+            tenant = names[0]
+        else:
+            tenant = names[int(rng.integers(tenants))]
+        array = arrays[int(rng.integers(len(arrays)))]
+        kind = kinds[int(rng.integers(len(kinds)))]
+        if kind == "multi":
+            fracs = tuple(
+                float(palette[i])
+                for i in rng.integers(distinct_fracs, size=multi_width)
+            )
+        else:
+            fracs = (float(palette[int(rng.integers(distinct_fracs))]),)
+        out.append(TraceQuery(tenant, array, kind, fracs))
+    return out
+
+
+async def _issue(service: "SelectionService", query: TraceQuery):
+    """One trace query against the service; returns its answer values as
+    a plain tuple (what bit-identity is asserted over)."""
+    data = service.arrays[query.array]
+    if query.kind == "multi":
+        report = await service.multi_select(
+            data, query.ranks(data.n), tenant=query.tenant
+        )
+        return tuple(report.values)
+    if query.kind == "quantile":
+        report = await service.quantile(
+            data, query.fracs[0], tenant=query.tenant
+        )
+    else:
+        report = await service.select(
+            data, query.ranks(data.n)[0], tenant=query.tenant
+        )
+    return (report.value,)
+
+
+async def replay(
+    service: "SelectionService",
+    trace: Sequence[TraceQuery],
+    *,
+    concurrency: int = 8,
+) -> list:
+    """Closed-loop replay: ``concurrency`` client tasks each keep exactly
+    one query outstanding, pulling the next trace entry as soon as their
+    previous answer lands. Returns per-query answer tuples in trace
+    order. A client's own sizing keeps it under the per-tenant admission
+    cap; an :class:`~repro.errors.AdmissionError` here means the trace
+    was replayed hotter than the service was configured for — let it
+    propagate, that is the signal."""
+    if concurrency < 1:
+        raise ConfigurationError(
+            f"concurrency must be >= 1, got {concurrency}"
+        )
+    answers: list = [None] * len(trace)
+    next_index = 0
+
+    async def client() -> None:
+        nonlocal next_index
+        while next_index < len(trace):
+            i = next_index
+            next_index += 1
+            answers[i] = await _issue(service, trace[i])
+
+    await asyncio.gather(*(client() for _ in range(min(concurrency,
+                                                       len(trace)))))
+    return answers
+
+
+def direct_answers(
+    machine: "Machine",
+    arrays: dict,
+    trace: Sequence[TraceQuery],
+    plan=None,
+) -> list:
+    """Ground truth and throughput baseline: every query answered NOW by
+    its own uncached launch(es) on a fresh query-at-a-time
+    :class:`~repro.core.session.Session` — the front door a service
+    replaces. Returns per-query answer tuples in trace order."""
+    one_shot = Session(machine, plan=plan, cache=False)
+    out = []
+    for query in trace:
+        data = arrays[query.array]
+        ks = query.ranks(data.n)
+        if query.kind == "multi":
+            out.append(tuple(one_shot.run_multi_select(data, ks).values))
+        else:
+            out.append((one_shot.run_select(data, ks[0]).value,))
+    return out

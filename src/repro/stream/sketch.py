@@ -251,6 +251,22 @@ class QuantileSketch:
         )
         return lower, max(lower, upper)
 
+    def quantile(self, q: float):
+        """ε-approximate value at quantile fraction ``q`` in ``(0, 1]``.
+
+        Maps ``q`` to rank ``ceil(q * count)`` (the library's quantile
+        convention) and returns the *upper* key of :meth:`rank_bounds` —
+        conservative for tail-latency reporting (a p99 read from the
+        sketch never understates the true p99 by more than the bracket).
+        """
+        if not (0.0 < float(q) <= 1.0):
+            raise ConfigurationError(f"quantile {q!r} outside (0, 1]")
+        if self.count == 0:
+            raise ConfigurationError("quantile of an empty sketch")
+        k = max(1, int(np.ceil(float(q) * self.count)))
+        _lo, hi = self.rank_bounds(k)
+        return hi
+
     # ---------------------------------------------------------- book-keeping
 
     @property
