@@ -1,0 +1,61 @@
+"""Observability capture: the obs PR's acceptance bar.
+
+Claims pinned here:
+
+1. Capture-off is the default and leaves NOTHING behind: the identical
+   launch sequence run with and without an active span capture (plus
+   per-launch tracing forced) produces bit-identical values and
+   simulated seconds, and the off arm records zero spans.
+2. Fully-on capture is cheap where it matters: at the paper's large n
+   (1M, p=8) the whole-sequence wall overhead of the heaviest capture
+   configuration stays under 10%.
+3. The capture is usable evidence, not just cheap: the exported Chrome
+   trace-event document passes schema validation (loadable at
+   https://ui.perfetto.dev).
+
+Full grid: ``python -m repro.bench obs --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_obs_point
+
+N_IDENTITY = 128 * KILO
+N_OVERHEAD = 1024 * KILO  # the acceptance bar: n = 1M, p = 8
+P_OVERHEAD = 8
+MAX_OVERHEAD = 0.10
+
+
+@pytest.mark.parametrize("algorithm", ["fast_randomized", "randomized"])
+def test_capture_bit_identical_and_chrome_valid(benchmark, algorithm):
+    pt = benchmark.pedantic(
+        run_obs_point, args=(algorithm, N_IDENTITY, 4),
+        kwargs=dict(launches=4, trials=1), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["overhead"] = pt.overhead
+    benchmark.extra_info["spans"] = pt.spans
+    assert pt.bit_identical, (
+        f"capture changed the experiment: off={pt.answers_off} "
+        f"on={pt.answers_on}"
+    )
+    assert pt.spans > 0, "the ON arm must actually record spans"
+    assert pt.chrome_valid, "exported Chrome trace failed schema validation"
+
+
+def test_capture_overhead_under_10_percent_large_n(benchmark):
+    """n=1M, p=8: fully-on capture (span recorder + forced per-launch
+    tracing) must cost < 10% whole-sequence wall over the plain path."""
+    pt = benchmark.pedantic(
+        run_obs_point, args=("fast_randomized", N_OVERHEAD, P_OVERHEAD),
+        kwargs=dict(launches=4, trials=3), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["wall_off_s"] = pt.wall_off
+    benchmark.extra_info["wall_on_s"] = pt.wall_on
+    benchmark.extra_info["overhead"] = pt.overhead
+    benchmark.extra_info["spans"] = pt.spans
+    assert pt.bit_identical
+    assert pt.overhead < MAX_OVERHEAD, (
+        f"capture overhead {pt.overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% at n={N_OVERHEAD}, p={P_OVERHEAD} "
+        f"(off={pt.wall_off * 1e3:.1f} ms, on={pt.wall_on * 1e3:.1f} ms)"
+    )

@@ -26,6 +26,7 @@ from .harness import (
     run_backend_point,
     run_multiselect_point,
     run_point,
+    run_obs_point,
     run_pool_point,
     run_series,
     run_serve_point,
@@ -595,6 +596,53 @@ def serve(scale: str = "small") -> FigureResult:
                         text, points)
 
 
+def obs(scale: str = "small") -> FigureResult:
+    """Observability overhead: the identical selection workload with
+    capture off versus fully on (span capture active + per-launch tracing
+    forced). Values and simulated seconds must be bit-identical — the obs
+    contract is that measurement never perturbs the experiment — and the
+    ON arm's span capture must export a valid Chrome trace-event document.
+    What's paid is wall clock, reported as the overhead column."""
+    cfg = _scale(scale)
+    n = min(cfg["n_big"], 256 * KILO)
+    rows: list[str] = []
+    points: list[PointResult] = []
+    for algo in ("fast_randomized", "randomized"):
+        for p in cfg["bar_p_sweep"][:2]:
+            pt = run_obs_point(
+                algo, n, p, distribution="random", launches=4,
+                trials=max(cfg["trials"], 1),
+            )
+            for arm, wall in (("off", pt.wall_off), ("on", pt.wall_on)):
+                points.append(PointResult(
+                    algorithm=f"{algo}@obs-{arm}", balancer="none",
+                    distribution="random", n=n, p=p,
+                    simulated_time=sum(s for _, s in pt.answers_off),
+                    balance_time=0.0, wall_time=wall,
+                    iterations=float(pt.spans if arm == "on" else 0),
+                    trials=pt.trials,
+                ))
+            agree = "ok" if pt.bit_identical else "MISMATCH"
+            chrome = "valid" if pt.chrome_valid else "INVALID"
+            rows.append(
+                f"  {algo:>16s} p={p:<3d} [{agree}]  "
+                f"off={pt.wall_off * 1e3:8.1f} ms  "
+                f"on={pt.wall_on * 1e3:8.1f} ms  "
+                f"overhead={pt.overhead * 100:+5.1f}%  "
+                f"{pt.spans} spans -> {pt.chrome_events} events ({chrome})"
+            )
+    text = (
+        f"== Observability overhead: capture off vs on, n={n // KILO}k, "
+        "random data ==\n"
+        "Identical launch sequences; the ON arm runs under an active span\n"
+        "capture with per-launch tracing forced (the heaviest capture\n"
+        "configuration). Values and simulated seconds are asserted\n"
+        "bit-identical; the exported Chrome trace is schema-validated.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("obs", "Observability capture overhead", text, points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -606,6 +654,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "ablation-delta": ablation_delta,
     "ablation-partition": ablation_partition,
     "multiselect": multiselect,
+    "obs": obs,
     "session": session,
     "backend": backend,
     "pool": pool,

@@ -29,6 +29,7 @@ from ..selection.fast_randomized import FastRandomizedParams
 
 __all__ = [
     "BackendPointResult",
+    "ObsPointResult",
     "PointResult",
     "PoolPointResult",
     "ServePointResult",
@@ -36,6 +37,7 @@ __all__ = [
     "StreamPointResult",
     "TopologyPointResult",
     "run_backend_point",
+    "run_obs_point",
     "run_point",
     "run_multiselect_point",
     "run_pool_point",
@@ -1159,4 +1161,139 @@ def run_serve_point(
         result.p99s[c] = stats.p99_s
         if answers != expected:
             result.answers_agree = False
+    return result
+
+
+@dataclass
+class ObsPointResult:
+    """One workload measured with observability OFF versus ON.
+
+    The obs contract has two halves and this point measures both: capture
+    must be *free where it matters* (values and simulated seconds
+    bit-identical, wall overhead bounded) and *useful where it runs* (the
+    span capture exports a valid Chrome trace-event document). The ON arm
+    runs the identical launch sequence under an active
+    :class:`repro.obs.capture` with per-launch tracing forced; the OFF arm
+    is the plain default path. Walls are whole-sequence best-of-trials.
+    """
+
+    algorithm: str
+    distribution: str
+    n: int
+    p: int
+    launches: int
+    trials: int = 1
+    #: Best-of-trials whole-sequence wall seconds, obs disabled / enabled.
+    wall_off: float = 0.0
+    wall_on: float = 0.0
+    #: Per-launch ``(value, simulated_time)`` tuples for each arm.
+    answers_off: tuple = ()
+    answers_on: tuple = ()
+    #: Spans recorded by one traced sequence and its Chrome export.
+    spans: int = 0
+    chrome_events: int = 0
+    chrome_valid: bool = False
+
+    @property
+    def bit_identical(self) -> bool:
+        """Values AND simulated times unchanged by capture."""
+        return self.answers_off == self.answers_on
+
+    @property
+    def overhead(self) -> float:
+        """Fractional wall overhead of capture (``on/off - 1``)."""
+        if not self.wall_off:
+            return 0.0
+        return self.wall_on / self.wall_off - 1.0
+
+    def as_json(self) -> dict:
+        """Schema for the committed ``BENCH_obs.json`` artifact."""
+        return {
+            "experiment": "obs",
+            "algorithm": self.algorithm,
+            "distribution": self.distribution,
+            "n": self.n,
+            "p": self.p,
+            "launches": self.launches,
+            "trials": self.trials,
+            "wall_off_s": self.wall_off,
+            "wall_on_s": self.wall_on,
+            "overhead": self.overhead,
+            "bit_identical": self.bit_identical,
+            "spans": self.spans,
+            "chrome_events": self.chrome_events,
+            "chrome_valid": self.chrome_valid,
+            "simulated_time_s": sum(s for _, s in self.answers_off),
+        }
+
+
+def run_obs_point(
+    algorithm: str,
+    n: int,
+    p: int,
+    distribution: str = "random",
+    launches: int = 4,
+    trials: int = 1,
+    seed: int = 0,
+    backend: str | None = None,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+) -> ObsPointResult:
+    """Measure one selection workload with capture off versus on.
+
+    Both arms run ``launches`` selections at spread target ranks over an
+    identically generated array (fresh machine per arm, cache off so every
+    query pays its launch). The ON arm forces per-launch tracing and an
+    active span capture — the heaviest capture configuration — and its
+    last trial's span set is exported to an in-memory Chrome document and
+    schema-validated.
+    """
+    from .. import obs
+    from ..obs.export import chrome_document, validate_chrome
+
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    targets = sorted(
+        {max(1, (i * n) // (launches + 1)) for i in range(1, launches + 1)}
+    )
+    plan = SelectionPlan(
+        algorithm=algorithm, balancer="none", seed=seed,
+        impl_override=impl_override,
+    )
+    result = ObsPointResult(
+        algorithm=algorithm, distribution=distribution, n=n, p=p,
+        launches=len(targets), trials=trials,
+    )
+
+    def sequence(machine) -> tuple:
+        one_shot = Session(machine, cache=False)
+        data = machine.generate(n, distribution=distribution, seed=seed)
+        reports = [one_shot.run_select(data, t, plan) for t in targets]
+        return tuple((r.value, r.simulated_time) for r in reports)
+
+    walls = []
+    for _ in range(trials):
+        machine = Machine(
+            n_procs=p, cost_model=cost_model or CM5, backend=backend
+        )
+        t0 = time.perf_counter()
+        result.answers_off = sequence(machine)
+        walls.append(time.perf_counter() - t0)
+    result.wall_off = min(walls)
+
+    walls = []
+    for _ in range(trials):
+        machine = Machine(
+            n_procs=p, cost_model=cost_model or CM5, backend=backend,
+            trace=True,
+        )
+        with obs.capture() as rec:
+            t0 = time.perf_counter()
+            result.answers_on = sequence(machine)
+            walls.append(time.perf_counter() - t0)
+        result.spans = len(rec.spans)
+        doc = chrome_document(rec.spans)
+        result.chrome_events = len(doc["traceEvents"])
+        result.chrome_valid = not validate_chrome(doc)
+    result.wall_on = min(walls)
     return result

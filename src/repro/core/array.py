@@ -58,10 +58,18 @@ class Machine:
         self,
         n_procs: int,
         cost_model: CostModel | None = None,
-        trace: bool = False,
+        trace: bool | str = False,
         backend=None,
         topology=None,
     ):
+        # trace=<path> is the one-liner capture switch: per-launch tracing
+        # ON plus a process-wide span capture exported to that path at exit
+        # (equivalent to running under REPRO_TRACE=<path>).
+        if isinstance(trace, str):
+            from ..obs import enable as _enable_obs
+
+            _enable_obs(trace)
+            trace = True
         self.runtime = SPMDRuntime(
             n_procs, cost_model=cost_model if cost_model is not None else CM5,
             trace=trace, backend=backend, topology=topology,
@@ -110,6 +118,24 @@ class Machine:
         :attr:`SPMDRuntime.reuse_count`); the serving tier's warm-launch
         receipt."""
         return self.runtime.reuse_count
+
+    def counters(self) -> dict:
+        """One snapshot dict of this machine's activity counters.
+
+        The individual properties (:attr:`launch_count`, :attr:`fork_count`,
+        :attr:`reuse_count`) remain as thin views of the same runtime state;
+        this consolidates them — plus the pool backend's pinned
+        shared-memory bytes — for dashboards and
+        :class:`~repro.serve.service.ServiceStats`.
+        """
+        return {
+            "launches": self.runtime.launch_count,
+            "forks": self.runtime.fork_count,
+            "reuses": self.runtime.reuse_count,
+            "pinned_bytes": int(
+                getattr(self.runtime.backend, "pinned_bytes", 0)
+            ),
+        }
 
     def release_workers(self) -> None:
         """Release persistent backend state (pool worker generations and
@@ -180,17 +206,18 @@ class Machine:
         )
 
     def run(self, fn, rank_args=None, args=(), kwargs=None,
-            backend=None, topology=None) -> SPMDResult:
+            backend=None, topology=None, trace=None) -> SPMDResult:
         """Escape hatch: run a raw SPMD program on this machine.
 
         ``backend`` / ``topology`` override the machine's execution
         backend and machine shape for this launch only (a
         :class:`~repro.core.plan.SelectionPlan` carrying either rides
-        these parameters).
+        these parameters). ``trace`` (``bool | None``) likewise overrides
+        the machine's per-launch tracer for this launch only.
         """
         return self.runtime.run(
             fn, rank_args=rank_args, args=args, kwargs=kwargs,
-            backend=backend, topology=topology,
+            backend=backend, topology=topology, trace=trace,
         )
 
 

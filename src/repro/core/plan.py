@@ -151,6 +151,14 @@ class SelectionPlan:
         Accuracy of the pre-filter sketch: stored size is ``O(1/eps)``
         and the surviving fraction ``O(eps)``. Only consumed when
         ``prefilter="sketch"``.
+    trace:
+        Per-launch collective tracing override: ``True`` forces a real
+        tracer for launches this plan drives even on an untraced machine
+        (so ``report.collective_rounds()`` and the observability layer's
+        collective leaf spans are populated), ``False`` forces it off,
+        ``None`` defers to the machine (and to :mod:`repro.obs` capture).
+        Purely observational — values, RNG streams and simulated times are
+        unchanged — so it is deliberately NOT part of :meth:`cache_key`.
     """
 
     algorithm: str = "fast_randomized"
@@ -166,6 +174,7 @@ class SelectionPlan:
     topology: str | None = None
     prefilter: str | None = None
     sketch_eps: float = 0.01
+    trace: bool | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -221,6 +230,10 @@ class SelectionPlan:
                 f"got {self.sketch_eps!r}"
             )
         object.__setattr__(self, "sketch_eps", float(self.sketch_eps))
+        if self.trace is not None and not isinstance(self.trace, bool):
+            raise ConfigurationError(
+                f"trace must be True, False or None, got {self.trace!r}"
+            )
         if self.fast_params is not None and not isinstance(
             self.fast_params, FastRandomizedParams
         ):
@@ -295,6 +308,9 @@ class SelectionPlan:
             self.prefilter,
             # sketch_eps only shapes behaviour when the pre-filter is on.
             self.sketch_eps if self.prefilter is not None else None,
+            # trace is deliberately absent: it is purely observational
+            # (values and simulated times are identical either way), so a
+            # traced and an untraced plan share cached results.
         )
 
     def replace(self, **changes) -> "SelectionPlan":
@@ -310,7 +326,7 @@ class SelectionPlan:
                  f"seed={self.seed}"]
         for name in ("sequential_method", "endgame_threshold",
                      "max_iterations", "impl_override", "backend",
-                     "kernels", "topology", "prefilter"):
+                     "kernels", "topology", "prefilter", "trace"):
             v = getattr(self, name)
             if v is not None:
                 parts.append(f"{name}={v}")

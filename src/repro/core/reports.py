@@ -93,6 +93,21 @@ class _RunReport:
     #: onto (``"crossbar"``, ``"binomial-tree"``, ``"hypercube"``,
     #: ``"two-level"``; cached reports carry the originating launch's).
     topology: str = ""
+    #: The cost model's closed-form *prediction* of the launch's simulated
+    #: time (:func:`repro.bench.model.predict`), attached at report
+    #: assembly for the four algorithms with closed forms; ``None`` when no
+    #: prediction exists (hybrids, sort-based, non-crossbar shapes). The
+    #: predicted-vs-actual residual is the future planner's calibration
+    #: feed (see :attr:`cost_residual`).
+    predicted_time: float | None = None
+
+    @property
+    def cost_residual(self) -> float | None:
+        """Actual minus predicted simulated seconds (positive = the model
+        under-priced the launch); ``None`` without a prediction."""
+        if self.predicted_time is None:
+            return None
+        return self.simulated_time - self.predicted_time
 
     @property
     def balance_time(self) -> float:

@@ -42,6 +42,8 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..kernels.select import median_rank
 from ..machine.clock import TimeBreakdown
+from ..obs import get_recorder
+from ..obs.metrics import REGISTRY
 from ..selection import (
     STRATEGIES,
     MultiSelectionStats,
@@ -165,6 +167,79 @@ def empty_multi_report(
     )
 
 
+def predict_simulated(plan: SelectionPlan, n: int, p: int, model,
+                      topology: str) -> float | None:
+    """Closed-form predicted simulated seconds for one launch, or ``None``.
+
+    Delegates to :func:`repro.bench.model.predict` (lazy import: the bench
+    package imports the core layers). Only the four algorithms with closed
+    forms predict, and only on the crossbar topology the forms were derived
+    for — hybrids, sort-based plans and routed topologies return ``None``
+    rather than a knowingly-wrong number.
+    """
+    if n <= 0 or topology != "crossbar":
+        return None
+    if plan.prefilter is not None:
+        # Sketch-prefiltered launches do work the closed forms don't model.
+        return None
+    try:
+        from ..bench.model import predict
+    except ImportError:  # pragma: no cover - bench is always shipped
+        return None
+    try:
+        return predict(plan.algorithm, n, p, model=model).total
+    except ConfigurationError:
+        return None
+
+
+def observe_launch(data: "DistributedArray", plan: SelectionPlan,
+                   ks: Sequence[int], result, stats,
+                   predicted: float | None) -> None:
+    """Post-launch observability: residual metric + launch-span enrichment.
+
+    Always records the predicted-vs-actual residual histogram (the metrics
+    registry is process-wide and cheap); span work only happens when a
+    capture is active AND the runtime attached a span to the result. Pure
+    bookkeeping — never touches values, RNG or simulated time.
+    """
+    residual = (result.simulated_time - predicted
+                if predicted is not None else None)
+    if residual is not None:
+        REGISTRY.histogram(
+            "repro.launch.cost_residual", algorithm=plan.algorithm
+        ).observe(residual)
+    recorder = get_recorder()
+    span = getattr(result, "span", None)
+    if not recorder.enabled or span is None or not span:
+        return
+    prefilter = getattr(stats, "prefilter", None)
+    span.set(
+        algorithm=plan.algorithm,
+        n=data.n,
+        ks=list(ks),
+        iterations=stats.n_iterations,
+        predicted_s=predicted,
+        residual_s=residual,
+        survivor_fraction=(prefilter.survivor_fraction
+                           if prefilter is not None else None),
+    )
+    # Iteration spans from the engine's deterministic sim-clock stamps
+    # (rank 0's view), laid onto the launch span's cumulative sim axis.
+    base = span.sim_t0 if span.sim_t0 is not None else 0.0
+    last = base
+    for i, rec in enumerate(stats.iterations):
+        recorder.add(
+            "iteration", parent=span,
+            sim_t0=base + rec.t_sim0, sim_t1=base + rec.t_sim1,
+            index=i, n_before=rec.n_before, n_after=rec.n_after,
+            balanced=rec.balanced, successful=rec.successful,
+        )
+        last = base + rec.t_sim1
+    if getattr(stats, "endgame_n", 0):
+        recorder.add("endgame", parent=span, sim_t0=last,
+                     sim_t1=span.sim_t1, endgame_n=stats.endgame_n)
+
+
 def finish_select(
     data: "DistributedArray", k: int, plan: SelectionPlan,
     balancer_name: str, result,
@@ -174,6 +249,9 @@ def finish_select(
     stats: SelectionStats = result.values[0][1]
     first = values[0]
     assert all(v == first for v in values), "ranks disagree on the answer"
+    predicted = predict_simulated(plan, data.n, data.p,
+                                  data.machine.cost_model, result.topology)
+    observe_launch(data, plan, [k], result, stats, predicted)
     return SelectionReport(
         value=first,
         k=k,
@@ -188,6 +266,7 @@ def finish_select(
         result=result,
         backend=result.backend,
         topology=result.topology,
+        predicted_time=predicted,
     )
 
 
@@ -205,6 +284,14 @@ def finish_multi(
         for v in all_values
     ), "ranks disagree on the answers"
     by_rank = dict(zip(unique_ks, first))
+    # The closed forms price a single-target contraction; batched launches
+    # tracking several live intervals have no form, so don't pretend.
+    predicted = (
+        predict_simulated(plan, data.n, data.p, data.machine.cost_model,
+                          result.topology)
+        if len(unique_ks) == 1 else None
+    )
+    observe_launch(data, plan, ks, result, stats, predicted)
     return MultiSelectionReport(
         values=[by_rank[k] for k in ks],
         ks=ks,
@@ -219,6 +306,7 @@ def finish_multi(
         result=result,
         backend=result.backend,
         topology=result.topology,
+        predicted_time=predicted,
     )
 
 
@@ -237,19 +325,22 @@ def execute_select(
     and surface as ``WorkerError``).
     """
     k = validate_rank(k, data.n)
-    if plan.prefilter == "sketch":
-        from ..stream.refine import execute_sketch_select
+    with get_recorder().span("query", kind="select", algorithm=plan.algorithm,
+                             n=data.n, p=data.p, k=k):
+        if plan.prefilter == "sketch":
+            from ..stream.refine import execute_sketch_select
 
-        return execute_sketch_select(data, k, plan)
-    fn, cfg, balancer_name, extra = resolve_single(plan)
-    result = data.machine.run(
-        _ShardProgram(fn, extra),
-        rank_args=[(s,) for s in data.shards],
-        args=(k, cfg),
-        backend=plan.backend,
-        topology=plan.topology,
-    )
-    return finish_select(data, k, plan, balancer_name, result)
+            return execute_sketch_select(data, k, plan)
+        fn, cfg, balancer_name, extra = resolve_single(plan)
+        result = data.machine.run(
+            _ShardProgram(fn, extra),
+            rank_args=[(s,) for s in data.shards],
+            args=(k, cfg),
+            backend=plan.backend,
+            topology=plan.topology,
+            trace=plan.trace,
+        )
+        return finish_select(data, k, plan, balancer_name, result)
 
 
 def execute_multi_select(
@@ -262,23 +353,27 @@ def execute_multi_select(
     live set when a pivot lands between two targets, and the endgame costs
     one Gather + Broadcast however many intervals survive.
     """
-    if plan.prefilter == "sketch":
-        from ..stream.refine import execute_sketch_multi_select
+    with get_recorder().span("query", kind="multi_select",
+                             algorithm=plan.algorithm, n=data.n, p=data.p,
+                             n_ks=len(ks)):
+        if plan.prefilter == "sketch":
+            from ..stream.refine import execute_sketch_multi_select
 
-        return execute_sketch_multi_select(data, ks, plan)
-    ks = validate_ks(ks, data.n)
-    cfg, balancer_name, runner = resolve_multi(plan)
-    if not ks:
-        return empty_multi_report(data, plan, balancer_name)
-    unique_ks = sorted(set(ks))
-    result = data.machine.run(
-        _ShardProgram(runner),
-        rank_args=[(s,) for s in data.shards],
-        args=(unique_ks, cfg),
-        backend=plan.backend,
-        topology=plan.topology,
-    )
-    return finish_multi(data, ks, unique_ks, plan, balancer_name, result)
+            return execute_sketch_multi_select(data, ks, plan)
+        ks = validate_ks(ks, data.n)
+        cfg, balancer_name, runner = resolve_multi(plan)
+        if not ks:
+            return empty_multi_report(data, plan, balancer_name)
+        unique_ks = sorted(set(ks))
+        result = data.machine.run(
+            _ShardProgram(runner),
+            rank_args=[(s,) for s in data.shards],
+            args=(unique_ks, cfg),
+            backend=plan.backend,
+            topology=plan.topology,
+            trace=plan.trace,
+        )
+        return finish_multi(data, ks, unique_ks, plan, balancer_name, result)
 
 
 def per_rank_view(metrics, k: int, value, cached: bool = False) -> SelectionReport:
@@ -315,6 +410,7 @@ def per_rank_view(metrics, k: int, value, cached: bool = False) -> SelectionRepo
         cached=cached,
         backend=metrics.backend,
         topology=metrics.topology,
+        predicted_time=getattr(metrics, "predicted_time", None),
     )
 
 
@@ -347,6 +443,7 @@ class _LaunchMetrics:
     result: object
     backend: str = ""
     topology: str = ""
+    predicted_time: float | None = None
 
     @classmethod
     def from_multi(cls, multi: MultiSelectionReport) -> "_LaunchMetrics":
@@ -355,7 +452,7 @@ class _LaunchMetrics:
             balancer=multi.balancer, simulated_time=multi.simulated_time,
             wall_time=multi.wall_time, breakdown=multi.breakdown,
             stats=multi.stats, result=multi.result, backend=multi.backend,
-            topology=multi.topology,
+            topology=multi.topology, predicted_time=multi.predicted_time,
         )
 
 
@@ -628,15 +725,17 @@ class Session:
             key = (fut.data.fingerprint, fut.plan.cache_key())
             groups.setdefault(key, []).append(fut)
         first_error: BaseException | None = None
-        for (fp, plan_key), futs in groups.items():
-            try:
-                self._serve_group(fp, plan_key, futs)
-            except Exception as exc:
-                for fut in futs:
-                    if fut._report is None:
-                        fut._error = exc
-                if first_error is None:
-                    first_error = exc
+        with get_recorder().span("session.flush", queries=len(pending),
+                                 groups=len(groups)):
+            for (fp, plan_key), futs in groups.items():
+                try:
+                    self._serve_group(fp, plan_key, futs)
+                except Exception as exc:
+                    for fut in futs:
+                        if fut._report is None:
+                            fut._error = exc
+                    if first_error is None:
+                        first_error = exc
         if first_error is not None:
             raise first_error
         return pending
@@ -645,6 +744,14 @@ class Session:
                      count_coalesced: bool = True) -> None:
         data, plan = futs[0].data, futs[0].plan
         needed = sorted({k for fut in futs for k in fut.ranks})
+        with get_recorder().span("session.group", algorithm=plan.algorithm,
+                                 queries=len(futs), ranks=len(needed)):
+            self._serve_group_inner(data, plan, fp, plan_key, futs, needed,
+                                    count_coalesced)
+
+    def _serve_group_inner(self, data, plan, fp: str, plan_key: tuple,
+                           futs: list[_Future], needed: list[int],
+                           count_coalesced: bool) -> None:
         entries: dict[int, _CacheEntry] = {}
         hit_ks: set[int] = set()
         missing: list[int] = []
@@ -707,6 +814,7 @@ class Session:
             cached=all_cached,
             backend=metrics.backend,
             topology=metrics.topology,
+            predicted_time=getattr(metrics, "predicted_time", None),
         )
 
     # ---------------------------------------------------- immediate queries

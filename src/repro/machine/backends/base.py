@@ -121,6 +121,10 @@ class SPMDResult:
     tracer: Tracer | NullTracer = field(default_factory=NullTracer)
     backend: str = "threaded"
     topology: str = "crossbar"
+    #: The launch's :class:`~repro.obs.spans.Span` when span capture was on
+    #: (attached by the runtime after execution so report assembly can
+    #: enrich it with query-level attributes); ``None`` otherwise.
+    span: Any = field(default=None, repr=False, compare=False)
 
     @property
     def simulated_time(self) -> float:

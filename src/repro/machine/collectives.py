@@ -292,6 +292,11 @@ class CollectiveEngine:
         # Immutable values + GIL make the unlocked dict race-free (a lost
         # race just rebuilds the same schedule).
         self._sched_cache: dict = {}
+        # Per-rank collective issue counters, consumed only when tracing:
+        # each rank touches its own slot, and the resulting TraceEvent.seq
+        # gives span derivation a deterministic order even when simulated
+        # timestamps tie.
+        self._seq = [0] * n_ranks
 
     def _lower(self, key: tuple, build) -> Schedule:
         sched = self._sched_cache.get(key)
@@ -341,6 +346,8 @@ class CollectiveEngine:
     ) -> None:
         clock.sync_to(tmax + sched.cost, category)
         if self.tracer.enabled:
+            seq = self._seq[rank]
+            self._seq[rank] = seq + 1
             self.tracer.record(
                 TraceEvent(
                     rank=rank,
@@ -352,6 +359,7 @@ class CollectiveEngine:
                     rounds=sched.n_rounds,
                     congestion=sched.congestion,
                     round_times=sched.round_costs,
+                    seq=seq,
                 )
             )
 

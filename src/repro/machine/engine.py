@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+from ..obs import get_recorder
+from ..obs.metrics import REGISTRY
 from .backends import resolve_backend
 from .backends.base import (
     MAX_RANKS,
@@ -88,16 +90,28 @@ class SPMDRuntime:
         kwargs: dict | None = None,
         backend=None,
         topology=None,
+        trace: bool | None = None,
     ) -> SPMDResult:
         """Execute ``fn(ctx, *rank_args[r], *args, **kwargs)`` on every rank.
 
         ``rank_args`` supplies per-rank positional arguments (e.g. each
         rank's data shard); ``args``/``kwargs`` are shared by all ranks.
-        ``backend`` and ``topology`` override the runtime's defaults for
-        this launch only; all launch validation happens inside
+        ``backend``, ``topology`` and ``trace`` override the runtime's
+        defaults for this launch only (a
+        :class:`~repro.core.plan.SelectionPlan` carrying ``trace=True``
+        rides the latter); all launch validation happens inside
         :class:`~repro.machine.backends.base.Launch`.
+
+        When span capture is on (:mod:`repro.obs`), the launch is wrapped
+        in a ``spmd.launch`` span, a real tracer is forced so collective
+        leaf spans exist, and the span is attached to the result for the
+        serving layer to enrich. All of that is driver-side observation:
+        values, RNG streams, simulated times and the launch count are
+        bit-identical with capture off or on.
         """
         chosen = self.backend if backend is None else resolve_backend(backend)
+        recorder = get_recorder()
+        want_trace = self.trace if trace is None else bool(trace)
         launch = Launch(
             fn=fn,
             n_procs=self.n_procs,
@@ -105,12 +119,29 @@ class SPMDRuntime:
             rank_args=rank_args,
             args=tuple(args),
             kwargs=kwargs or {},
-            tracer=Tracer() if self.trace else NullTracer(),
+            tracer=Tracer() if (want_trace or recorder.enabled)
+            else NullTracer(),
             join_timeout=self.join_timeout,
             topology=self.topology if topology is None else topology,
         )
         self.launch_count += 1
-        return chosen.execute(launch)
+        REGISTRY.counter("repro.spmd.launches", backend=chosen.name).inc()
+        if not recorder.enabled:
+            return chosen.execute(launch)
+        with recorder.span(
+            "spmd.launch", p=self.n_procs, backend=chosen.name,
+            topology=launch.topology.name,
+        ) as span:
+            result = chosen.execute(launch)
+        sim_base = recorder.advance_sim(result.simulated_time)
+        span.sim_t0 = sim_base
+        span.sim_t1 = sim_base + result.simulated_time
+        span.set(sim_s=result.simulated_time, wall_s=result.wall_time)
+        # Collective/round leaf spans synthesize lazily on first read —
+        # the launch path pays one append, not thousands of Span objects.
+        recorder.defer_trace(result.tracer.events(), span, sim_base)
+        result.span = span
+        return result
 
     @property
     def fork_count(self) -> int:

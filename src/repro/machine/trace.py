@@ -19,14 +19,21 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["TraceEvent", "Tracer", "NullTracer"]
+__all__ = [
+    "AGGREGATE_MODES", "NullTracer", "TraceEvent", "TraceSummary", "Tracer",
+]
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One communication primitive as seen from one rank."""
+    """One communication primitive as seen from one rank.
 
-    rank: int
+    ``rank=None`` marks a machine-wide **aggregate** record (e.g. a
+    whole-launch roll-up) rather than one rank's view; summaries handle
+    those explicitly — see :meth:`TraceSummary.from_tracer`.
+    """
+
+    rank: int | None
     op: str
     words: float
     t_start: float
@@ -39,6 +46,11 @@ class TraceEvent:
     #: Per-round simulated seconds of the schedule (crossbar totals keep
     #: the closed-form price; see Schedule.cost).
     round_times: tuple = ()
+    #: Per-rank issue sequence number (assigned by the collective engine
+    #: when tracing is on; -1 for events recorded by other producers).
+    #: Gives derived span views a deterministic ordering even when
+    #: simulated timestamps tie (e.g. under a zero-cost model).
+    seq: int = -1
 
     @property
     def duration(self) -> float:
@@ -93,6 +105,11 @@ class NullTracer:
         pass
 
 
+#: How :meth:`TraceSummary.from_tracer` treats ``rank=None`` aggregate
+#: records when an ``rank`` filter is given.
+AGGREGATE_MODES = ("include", "exclude", "only")
+
+
 @dataclass
 class TraceSummary:
     """Aggregate view over a tracer, keyed by op name."""
@@ -104,9 +121,38 @@ class TraceSummary:
     congestion: dict = field(default_factory=dict)
 
     @classmethod
-    def from_tracer(cls, tracer: Tracer, rank: int | None = None) -> "TraceSummary":
+    def from_tracer(cls, tracer: Tracer, rank: int | None = None,
+                    aggregates: str = "include") -> "TraceSummary":
+        """Summarise ``tracer``'s events, with explicit handling of
+        machine-wide aggregate records (``TraceEvent.rank is None``).
+
+        ``rank=None`` summarises every event (per-rank and aggregate).
+        With an integer ``rank``, aggregate records used to fall through
+        the ``e.rank == rank`` filter silently; ``aggregates`` now makes
+        the choice explicit:
+
+        * ``"include"`` (default) — that rank's events *plus* machine-wide
+          aggregates (they describe this rank too);
+        * ``"exclude"`` — strictly that rank's own events (the historical
+          silent behaviour, now opt-in);
+        * ``"only"`` — aggregate records alone, whatever ``rank`` says.
+        """
+        if aggregates not in AGGREGATE_MODES:
+            raise ValueError(
+                f"aggregates must be one of {AGGREGATE_MODES}, "
+                f"got {aggregates!r}"
+            )
         s = cls()
-        for e in tracer.events(rank=rank):
+        for e in tracer.events():
+            if aggregates == "only":
+                if e.rank is not None:
+                    continue
+            elif rank is not None:
+                if e.rank is None:
+                    if aggregates == "exclude":
+                        continue
+                elif e.rank != rank:
+                    continue
             s.counts[e.op] = s.counts.get(e.op, 0) + 1
             s.words[e.op] = s.words.get(e.op, 0.0) + e.words
             s.time[e.op] = s.time.get(e.op, 0.0) + e.duration

@@ -1,0 +1,193 @@
+"""``repro.obs`` — unified telemetry: spans, metrics, exporters.
+
+One switch, three surfaces:
+
+* ``REPRO_TRACE=<path>`` — capture every span in the process and export on
+  exit (``*.jsonl`` → JSON Lines, anything else → Chrome trace format);
+* ``Machine(trace="<path>")`` — same switch from code (a plain
+  ``trace=True`` keeps its historical meaning: per-launch collective
+  tracing, feeding leaf spans whenever capture is on);
+* :func:`enable` / :func:`capture` — programmatic control (the bench
+  harness and tests use the :func:`capture` context manager for clean
+  on/off bracketing).
+
+Disabled is the default and costs nothing observable: the execution layers
+consult :func:`get_recorder` and get :data:`~repro.obs.spans.NULL_RECORDER`,
+whose spans absorb every call — values, RNG streams, simulated times and
+launch counts stay bit-identical (pinned by ``tests/test_obs.py``).
+
+The metrics :data:`~repro.obs.metrics.REGISTRY` is independent of span
+capture: counters/histograms are always-on (they are pure driver-side
+bookkeeping and never touch the simulated machine).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+
+from .export import (
+    chrome_document,
+    read_jsonl,
+    summarize,
+    validate_chrome,
+    write_chrome,
+    write_jsonl,
+)
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .spans import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    NullRecorder,
+    NullSpan,
+    Span,
+    SpanRecorder,
+    format_tree,
+    spans_from_trace,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "NullSpan",
+    "Span",
+    "SpanRecorder",
+    "capture",
+    "chrome_document",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "format_tree",
+    "get_recorder",
+    "read_jsonl",
+    "span",
+    "spans_from_trace",
+    "summarize",
+    "validate_chrome",
+    "write_chrome",
+    "write_jsonl",
+]
+
+#: Environment switch: a path enables capture and names the export target.
+TRACE_ENV = "REPRO_TRACE"
+
+_recorder: SpanRecorder | None = None
+_export_path: str | None = None
+_env_checked = False
+_atexit_registered = False
+
+
+def _check_env() -> None:
+    global _env_checked
+    if _env_checked:
+        return
+    _env_checked = True
+    path = os.environ.get(TRACE_ENV)
+    if path:
+        enable(path)
+
+
+def get_recorder():
+    """The active :class:`SpanRecorder`, or the null recorder when capture
+    is off. Every instrumented layer routes through here."""
+    _check_env()
+    return _recorder if _recorder is not None else NULL_RECORDER
+
+
+def enabled() -> bool:
+    """True when span capture is on."""
+    return get_recorder().enabled
+
+
+def enable(path: str | None = None,
+           recorder: SpanRecorder | None = None) -> SpanRecorder:
+    """Switch span capture on process-wide.
+
+    ``path`` (optional) registers an at-exit export: ``*.jsonl`` writes
+    JSON Lines, any other suffix the Chrome trace document. Idempotent —
+    repeated calls keep the existing recorder (updating the export path if
+    a new one is given). Returns the active recorder.
+    """
+    global _recorder, _export_path, _env_checked, _atexit_registered
+    _env_checked = True
+    if _recorder is None:
+        _recorder = recorder if recorder is not None else SpanRecorder()
+    if path is not None:
+        _export_path = str(path)
+        if not _atexit_registered:
+            _atexit_registered = True
+            atexit.register(_export_at_exit)
+    return _recorder
+
+
+def disable() -> None:
+    """Switch span capture off (the recorder and its spans are dropped;
+    call :func:`export` first to keep them)."""
+    global _recorder, _export_path
+    _recorder = None
+    _export_path = None
+
+
+def span(name: str, **attrs):
+    """Open a span on the active recorder (a no-op context manager when
+    capture is off) — the one-liner instrumented layers use::
+
+        with obs.span("session.flush", queries=len(pending)):
+            ...
+    """
+    return get_recorder().span(name, **attrs)
+
+
+def export(path, recorder: SpanRecorder | None = None) -> int:
+    """Write the captured spans to ``path`` now (format by suffix; see
+    :func:`enable`). Returns the number of spans/events written."""
+    rec = recorder if recorder is not None else get_recorder()
+    spans = list(rec.spans)
+    path = os.fspath(path)
+    if path.endswith(".jsonl"):
+        return write_jsonl(spans, path)
+    return write_chrome(spans, path)
+
+
+def _export_at_exit() -> None:  # pragma: no cover - exercised in subprocess
+    if _recorder is not None and _export_path:
+        try:
+            export(_export_path, _recorder)
+        except OSError:
+            pass
+
+
+class capture:
+    """Context manager bracketing a capture window with a fresh recorder.
+
+    Restores the previous capture state on exit (so benches can measure
+    obs-on vs obs-off in one process) and exposes the recorder::
+
+        with obs.capture() as rec:
+            data.median()
+        print(obs.format_tree(rec))
+    """
+
+    def __init__(self, path: str | None = None,
+                 max_spans: int = 200_000):
+        self.path = path
+        self.recorder = SpanRecorder(max_spans=max_spans)
+
+    def __enter__(self) -> SpanRecorder:
+        global _recorder, _export_path, _env_checked
+        self._prev = (_recorder, _export_path, _env_checked)
+        _env_checked = True
+        _recorder = self.recorder
+        _export_path = None
+        return self.recorder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _recorder, _export_path, _env_checked
+        if self.path is not None:
+            export(self.path, self.recorder)
+        _recorder, _export_path, _env_checked = self._prev

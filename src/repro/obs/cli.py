@@ -1,0 +1,97 @@
+"""``python -m repro.obs`` — summarize, convert, validate trace files.
+
+Three subcommands over the two export formats:
+
+* ``summary <trace.jsonl>`` — span-tree counts, per-name wall/sim totals;
+* ``convert <trace.jsonl> <out.json>`` — JSON Lines → Chrome trace
+  document (load the output at https://ui.perfetto.dev);
+* ``validate <trace.json>`` — the schema check CI's obs smoke leg gates
+  on (exit status 1 and one line per violation when the document fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import (
+    chrome_document,
+    read_jsonl,
+    summarize,
+    validate_chrome,
+)
+
+__all__ = ["main"]
+
+
+def _load_rows(path: str) -> list[dict]:
+    if path.endswith(".jsonl"):
+        return read_jsonl(path)
+    raise SystemExit(
+        f"summary/convert read the JSON Lines export (*.jsonl), got {path!r}"
+    )
+
+
+def _cmd_summary(args) -> int:
+    rows = _load_rows(args.trace)
+    roots = sum(1 for r in rows if r.get("parent_id") is None)
+    print(f"{len(rows)} spans ({roots} roots) in {args.trace}")
+    print(f"{'name':<28} {'count':>7} {'wall_s':>10} {'sim_s':>12}")
+    for agg in summarize(rows)[: args.top]:
+        print(f"{agg['name']:<28} {agg['count']:>7} "
+              f"{agg['wall_s']:>10.4f} {agg['sim_s']:>12.6f}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    rows = _load_rows(args.trace)
+    doc = chrome_document(rows)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    print(f"wrote {len(doc['traceEvents'])} events to {args.out} "
+          "(load in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    errors = validate_chrome(args.trace)
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        return 1
+    print(f"{args.trace}: valid Chrome trace-event document")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, convert or validate repro trace exports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="per-name aggregates of a .jsonl trace")
+    p.add_argument("trace")
+    p.add_argument("--top", type=int, default=20,
+                   help="rows to print (default 20)")
+    p.set_defaults(fn=_cmd_summary)
+
+    p = sub.add_parser("convert",
+                       help=".jsonl trace -> Chrome/Perfetto .json")
+    p.add_argument("trace")
+    p.add_argument("out")
+    p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser("validate",
+                       help="schema-check a Chrome trace document")
+    p.add_argument("trace")
+    p.set_defaults(fn=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed early (e.g. `summary ... | head`).
+        sys.stderr.close()
+        return 0

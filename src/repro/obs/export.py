@@ -1,0 +1,214 @@
+"""Trace exporters: JSON Lines and Chrome trace-event format.
+
+Two on-disk shapes, one source of truth (the recorder's span list):
+
+* **JSON Lines** (``*.jsonl``) — one span per line, the lossless archival
+  form ``python -m repro.obs summary`` reads back;
+* **Chrome trace events** (``*.json``) — the ``{"traceEvents": [...]}``
+  document Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``
+  load directly. The export lays spans out on TWO process tracks — pid 1
+  "simulated time" and pid 2 "wall clock" — with one thread track per rank
+  (machine-level spans ride the driver track, tid 0), so the paper's cost
+  model and the host's reality sit one screen apart.
+
+:func:`validate_chrome` is the schema check CI gates on: a hand-rolled
+structural validator (the container has no ``jsonschema``) enforcing the
+documented trace-event contract — top-level shape, required keys per
+phase, numeric non-negative timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+
+__all__ = [
+    "SIM_PID",
+    "WALL_PID",
+    "chrome_document",
+    "read_jsonl",
+    "summarize",
+    "validate_chrome",
+    "write_chrome",
+    "write_jsonl",
+]
+
+#: Chrome-trace process ids of the two time axes.
+SIM_PID = 1
+WALL_PID = 2
+
+#: tid of machine-level (rank-less, driver-side) spans on either track.
+DRIVER_TID = 0
+
+
+def _span_rows(spans) -> list[dict]:
+    return [s.as_dict() if hasattr(s, "as_dict") else dict(s) for s in spans]
+
+
+def write_jsonl(spans, path: str) -> int:
+    """One span per line; returns the number of lines written."""
+    rows = _span_rows(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, default=_jsonable) + "\n")
+    return len(rows)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def _jsonable(obj):
+    """Fallback encoder: numpy scalars and exotic attrs degrade to repr."""
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    return repr(obj)
+
+
+def _tid(row: dict) -> int:
+    rank = row.get("rank")
+    return DRIVER_TID if rank is None else int(rank) + 1
+
+
+def chrome_document(spans) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document for a span list.
+
+    Every span with a wall interval becomes a complete ("ph": "X") event
+    on the wall-clock process; every span with a sim interval becomes one
+    on the simulated-time process. Timestamps are microseconds, per the
+    format. Metadata ("ph": "M") events name the two processes and one
+    thread per rank."""
+    rows = _span_rows(spans)
+    events: list[dict] = []
+    tids: dict[int, str] = {DRIVER_TID: "driver"}
+    for row in rows:
+        rank = row.get("rank")
+        if rank is not None:
+            tids.setdefault(int(rank) + 1, f"rank {int(rank)}")
+    for pid, label in ((SIM_PID, "simulated time"), (WALL_PID, "wall clock")):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        for tid, tname in sorted(tids.items()):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname},
+            })
+    for row in rows:
+        args = {"span_id": row.get("span_id")}
+        args.update(row.get("attrs") or {})
+        common = {"name": row.get("name", "?"), "cat": "repro",
+                  "ph": "X", "tid": _tid(row), "args": args}
+        if row.get("sim_t0_s") is not None and row.get("sim_t1_s") is not None:
+            events.append({
+                **common, "pid": SIM_PID,
+                "ts": row["sim_t0_s"] * 1e6,
+                "dur": max(0.0, (row["sim_t1_s"] - row["sim_t0_s"]) * 1e6),
+            })
+        if row.get("t0_s") is not None and row.get("t1_s") is not None:
+            events.append({
+                **common, "pid": WALL_PID,
+                "ts": row["t0_s"] * 1e6,
+                "dur": max(0.0, (row["t1_s"] - row["t0_s"]) * 1e6),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans, path: str) -> int:
+    """Write the Chrome/Perfetto document; returns the event count."""
+    doc = chrome_document(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, default=_jsonable)
+    return len(doc["traceEvents"])
+
+
+# ------------------------------------------------------------- validation
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, numbers.Real) and not isinstance(x, bool)
+
+
+def validate_chrome(doc) -> list[str]:
+    """Structural schema check of a Chrome trace-event document.
+
+    ``doc`` is a parsed document, a JSON string, or a path to one. Returns
+    a list of human-readable violations — empty means the document conforms
+    to the trace-event contract this exporter targets (and that CI's obs
+    smoke leg gates on).
+    """
+    if isinstance(doc, str):
+        if doc.lstrip().startswith(("{", "[")):
+            doc = json.loads(doc)
+        else:
+            with open(doc, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+    errors: list[str] = []
+    if isinstance(doc, list):
+        events = doc
+    elif isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object must carry a 'traceEvents' list"]
+    else:
+        return [f"document must be an object or array, got {type(doc).__name__}"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing phase 'ph'")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: 'name' must be a string")
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], numbers.Integral):
+                errors.append(f"{where}: '{key}' must be an integer")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+        if ph == "M":
+            continue
+        if ph in ("X", "B", "E", "I", "i"):
+            if not _is_num(ev.get("ts")):
+                errors.append(f"{where}: 'ts' must be a number")
+            elif ev["ts"] < 0:
+                errors.append(f"{where}: 'ts' must be non-negative")
+        if ph == "X":
+            if not _is_num(ev.get("dur")):
+                errors.append(f"{where}: complete event needs numeric 'dur'")
+            elif ev["dur"] < 0:
+                errors.append(f"{where}: 'dur' must be non-negative")
+    return errors
+
+
+# -------------------------------------------------------------- summaries
+
+
+def summarize(rows: list[dict]) -> list[dict]:
+    """Per-name aggregates over exported span rows (the CLI table)."""
+    table: dict[str, dict] = {}
+    for row in rows:
+        agg = table.setdefault(row.get("name", "?"), {
+            "name": row.get("name", "?"), "count": 0,
+            "wall_s": 0.0, "sim_s": 0.0,
+        })
+        agg["count"] += 1
+        if row.get("t0_s") is not None and row.get("t1_s") is not None:
+            agg["wall_s"] += row["t1_s"] - row["t0_s"]
+        if row.get("sim_t0_s") is not None and row.get("sim_t1_s") is not None:
+            agg["sim_s"] += row["sim_t1_s"] - row["sim_t0_s"]
+    return sorted(table.values(),
+                  key=lambda a: (-a["wall_s"], -a["sim_s"], a["name"]))

@@ -1,0 +1,242 @@
+"""Process-wide metrics: named counters, gauges and sketch histograms.
+
+The repo's counters were scattered per object (``Machine.launch_count``,
+pool ``fork_count``/``reuse_count``, the serve tier's latency sketch). This
+module gives them ONE registry with labeled dimensions, so every layer
+increments the same process-wide totals while the old per-object attributes
+stay alive as views over their original sources (a Machine still knows *its*
+launch count; the registry knows the fleet's).
+
+* :class:`Counter` — monotone float/int total (``inc``);
+* :class:`Gauge` — last-write-wins level (``set_value``/``inc``);
+* :class:`Histogram` — distribution summary backed by the library's own
+  mergeable :class:`~repro.stream.sketch.QuantileSketch` (dogfooding the
+  paper's machinery), plus exact count/sum/min/max.
+
+Metrics are identified by ``(name, sorted labels)``; :meth:`MetricsRegistry.
+counter` etc. get-or-create, so call sites never coordinate. Recording is
+always-on and cheap (a dict lookup + a lock-free buffer append); it never
+touches simulated clocks or RNG streams, so the bit-identity contract of
+the execution layers is untouchable from here by construction.
+
+``REGISTRY`` is the process-wide instance every layer shares; tests that
+need isolation construct their own :class:`MetricsRegistry`.
+
+The :class:`~repro.stream.sketch.QuantileSketch` import is deferred into
+the histogram fold: ``repro.stream`` imports the core layers, and the core
+layers import this module — laziness breaks the cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY"]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared identity/lock plumbing of every metric kind."""
+
+    kind = "?"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+    @property
+    def full_name(self) -> str:
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"{self.name}{{{inner}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.full_name}>"
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_row(self) -> dict:
+        return {"kind": self.kind, "name": self.full_name,
+                "value": self._value}
+
+
+class Gauge(_Metric):
+    """A last-write-wins level (queue depths, pinned bytes, cache sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict):
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set_value(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_row(self) -> dict:
+        return {"kind": self.kind, "name": self.full_name,
+                "value": self._value}
+
+
+class Histogram(_Metric):
+    """A distribution summary: exact count/sum/min/max + ε-approximate
+    quantiles from a :class:`~repro.stream.sketch.QuantileSketch`.
+
+    Observations buffer in a plain list and fold into the sketch in
+    batches (the same pattern the serve tier's latency sketch uses), so
+    the hot path is an append."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict, eps: float = 0.01):
+        super().__init__(name, labels)
+        self.eps = float(eps)
+        self._buf: list[float] = []
+        self._sketch = None
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._buf.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def _fold(self):
+        import numpy as np
+
+        from ..stream.sketch import QuantileSketch
+
+        with self._lock:
+            if self._sketch is None:
+                self._sketch = QuantileSketch(eps=self.eps)
+            if self._buf:
+                self._sketch.update(np.asarray(self._buf, dtype=np.float64))
+                self._buf.clear()
+            return self._sketch
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """ε-approximate value at fraction ``q`` (0.0 when empty)."""
+        if not self._count:
+            return 0.0
+        return float(self._fold().quantile(q))
+
+    def as_row(self) -> dict:
+        row = {
+            "kind": self.kind, "name": self.full_name, "count": self._count,
+            "sum": self._sum, "mean": self.mean, "min": self.min,
+            "max": self.max,
+        }
+        if self._count:
+            row["p50"] = self.quantile(0.50)
+            row["p99"] = self.quantile(0.99)
+        return row
+
+
+class MetricsRegistry:
+    """Get-or-create home for every named metric in the process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, _Metric] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (cls.kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, labels, **kwargs)
+                self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, eps: float = 0.01, **labels) -> Histogram:
+        return self._get(Histogram, name, labels, eps=eps)
+
+    def collect(self) -> list[dict]:
+        """Every metric as a flat export row, sorted by name."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sorted((m.as_row() for m in metrics),
+                      key=lambda row: row["name"])
+
+    def find(self, prefix: str = "") -> "Iterable[_Metric]":
+        """Metrics whose name starts with ``prefix`` (inspection/tests)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return [m for m in metrics if m.name.startswith(prefix)]
+
+    def clear(self) -> None:
+        """Drop every metric (test isolation only)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+#: The process-wide registry every layer records into.
+REGISTRY = MetricsRegistry()

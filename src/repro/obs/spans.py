@@ -1,0 +1,472 @@
+"""Hierarchical spans: one tree per traced workload.
+
+A :class:`Span` is one timed region of work — a query, a session flush, an
+SPMD launch, a contraction iteration, a collective, one schedule round —
+carrying *both* time axes this repository cares about:
+
+* the **wall clock** (``t0``/``t1``, host seconds since the recorder's
+  epoch) — what the operator pays;
+* the **simulated clock** (``sim_t0``/``sim_t1``, the machine model's
+  seconds) — what the paper's analysis prices.
+
+Spans form a tree via ``parent_id``. Driver-side spans (query, flush,
+launch) are opened/closed with :meth:`SpanRecorder.span` as a context
+manager — nesting follows a thread-local stack, so the hierarchy falls out
+of ordinary call structure. In-launch evidence (collectives, rounds,
+contraction iterations) is *derived* after the launch returns — from the
+launch's :class:`~repro.machine.trace.TraceEvent` log and the engine's
+:class:`~repro.selection.base.IterationRecord` sim checkpoints — via
+:meth:`SpanRecorder.add` / :func:`spans_from_trace`. Deriving on the driver
+side is what keeps the disabled path bit-identical: the SPMD program never
+sees a span object, so values, RNG streams and simulated times cannot be
+perturbed.
+
+Successive launches share one process-wide simulated clock that restarts at
+zero; :meth:`SpanRecorder.advance_sim` hands each launch a cumulative base
+offset so launches lay out sequentially on the exported sim-time track
+instead of piling up at ``t=0``.
+
+When capture is off, :data:`NULL_RECORDER`/:data:`NULL_SPAN` absorb every
+call as a no-op (the conformance tests in ``tests/test_obs.py`` pin that
+the off path records nothing and changes nothing).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+__all__ = [
+    "NULL_RECORDER",
+    "NULL_SPAN",
+    "NullRecorder",
+    "NullSpan",
+    "Span",
+    "SpanRecorder",
+    "format_tree",
+    "spans_from_trace",
+]
+
+
+class Span:
+    """One timed region of work; a node in the recorder's span tree.
+
+    ``t0``/``t1`` are wall seconds since the recorder epoch (``None`` for
+    sim-only derived spans); ``sim_t0``/``sim_t1`` are simulated seconds on
+    the recorder's cumulative sim axis (``None`` for wall-only spans).
+    ``attrs`` may be enriched via :meth:`set` at any point before export —
+    including after the span ended (reports attach predicted-vs-actual cost
+    to an already-closed launch span).
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "rank",
+        "t0", "t1", "sim_t0", "sim_t1", "attrs", "_recorder",
+    )
+
+    enabled = True
+
+    def __init__(self, recorder, name, span_id, parent_id=None, rank=None,
+                 t0=None, t1=None, sim_t0=None, sim_t1=None, attrs=None):
+        self._recorder = recorder
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.rank = rank
+        self.t0 = t0
+        self.t1 = t1
+        self.sim_t0 = sim_t0
+        self.sim_t1 = sim_t1
+        self.attrs = dict(attrs) if attrs else {}
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes (``None`` values are dropped)."""
+        for key, value in attrs.items():
+            if value is not None:
+                self.attrs[key] = value
+        return self
+
+    def end(self) -> "Span":
+        """Close the wall interval (idempotent)."""
+        if self.t1 is None and self.t0 is not None:
+            self.t1 = self._recorder._now()
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds (0.0 while open or for sim-only spans)."""
+        if self.t0 is None or self.t1 is None:
+            return 0.0
+        return self.t1 - self.t0
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds (0.0 for wall-only spans)."""
+        if self.sim_t0 is None or self.sim_t1 is None:
+            return 0.0
+        return self.sim_t1 - self.sim_t0
+
+    def as_dict(self) -> dict:
+        """The JSON-Lines export row for this span."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "rank": self.rank,
+            "t0_s": self.t0,
+            "t1_s": self.t1,
+            "sim_t0_s": self.sim_t0,
+            "sim_t1_s": self.sim_t1,
+            "attrs": self.attrs,
+        }
+
+    # Context-manager protocol: pop the thread-local stack and publish.
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder._close(self, error=exc_type is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, rank={self.rank})"
+        )
+
+
+class NullSpan:
+    """The disabled-path span: absorbs every call, records nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+    name = ""
+    span_id = 0
+    parent_id = None
+    rank = None
+    t0 = t1 = sim_t0 = sim_t1 = None
+    duration = 0.0
+    sim_duration = 0.0
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+    def end(self) -> "NullSpan":
+        return self
+
+    def as_dict(self) -> dict:  # pragma: no cover - never exported
+        return {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+class SpanRecorder:
+    """Thread-safe span sink + the thread-local open-span stack.
+
+    ``max_spans`` bounds memory for long-running services: past the cap new
+    spans are counted in :attr:`dropped` instead of stored (the tree stays
+    well-formed — parents are recorded before their derived children).
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 200_000):
+        self.max_spans = int(max_spans)
+        self.dropped = 0
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self._sim_cursor = 0.0
+        #: Deferred trace batches: ``(events, parent_id, sim_base)`` per
+        #: traced launch, synthesized into collective/round spans on first
+        #: read (keeps the capture hot path O(1) per launch).
+        self._pending_traces: list[tuple] = []
+
+    # ----------------------------------------------------------- internals
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _publish(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(span)
+
+    def _publish_many(self, spans: list[Span]) -> None:
+        """Batched publish: ONE lock acquisition for a whole derived-span
+        batch (the per-launch trace synthesis hot path)."""
+        with self._lock:
+            room = self.max_spans - len(self._spans)
+            if room >= len(spans):
+                self._spans.extend(spans)
+            else:
+                self._spans.extend(spans[:max(0, room)])
+                self.dropped += len(spans) - max(0, room)
+
+    def _close(self, span: Span, error: bool = False) -> None:
+        span.end()
+        if error:
+            span.attrs["error"] = True
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._publish(span)
+
+    # ----------------------------------------------------------- recording
+
+    def span(self, name: str, *, rank=None, parent=None, **attrs) -> Span:
+        """Open a wall-clocked span as a context manager.
+
+        The parent is the innermost open span on the *calling thread*
+        unless ``parent`` names one explicitly (cross-thread hand-offs).
+        """
+        stack = self._stack()
+        if parent is None and stack:
+            parent = stack[-1]
+        parent_id = parent.span_id if parent is not None else None
+        span = Span(
+            self, name, next(self._ids), parent_id=parent_id, rank=rank,
+            t0=self._now(), attrs=attrs,
+        )
+        stack.append(span)
+        return span
+
+    def add(self, name: str, *, parent=None, rank=None, t0=None, t1=None,
+            sim_t0=None, sim_t1=None, **attrs) -> Span:
+        """Record an already-finished (derived) span immediately."""
+        parent_id = parent.span_id if parent is not None else None
+        span = Span(
+            self, name, next(self._ids), parent_id=parent_id, rank=rank,
+            t0=t0, t1=t1, sim_t0=sim_t0, sim_t1=sim_t1, attrs=attrs,
+        )
+        self._publish(span)
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def advance_sim(self, simulated_seconds: float) -> float:
+        """Reserve ``simulated_seconds`` on the cumulative sim axis; returns
+        the base offset the caller should place its launch at."""
+        with self._lock:
+            base = self._sim_cursor
+            self._sim_cursor += max(0.0, float(simulated_seconds))
+        return base
+
+    def defer_trace(self, events, parent, sim_base: float = 0.0) -> None:
+        """Queue a traced launch's collective events for lazy synthesis.
+
+        The launch hot path pays one list append; the collective and
+        per-round spans (thousands for a large traced launch) are
+        materialized by :func:`spans_from_trace` on the first read
+        (:attr:`spans` / :meth:`tree` / export)."""
+        parent_id = parent.span_id if parent is not None else None
+        with self._lock:
+            self._pending_traces.append((events, parent_id, sim_base))
+
+    def _drain_traces(self) -> None:
+        with self._lock:
+            pending, self._pending_traces = self._pending_traces, []
+        for events, parent_id, sim_base in pending:
+            spans_from_trace(self, events, _ParentRef(parent_id), sim_base)
+
+    # ------------------------------------------------------------- reading
+
+    @property
+    def spans(self) -> list[Span]:
+        """Snapshot of every recorded (closed) span."""
+        self._drain_traces()
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        self._drain_traces()
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._pending_traces.clear()
+            self.dropped = 0
+            self._sim_cursor = 0.0
+
+    def tree(self) -> list[tuple[Span, list]]:
+        """The recorded forest as ``[(span, children), ...]`` nested lists,
+        children ordered by (sim start, wall start, id)."""
+        spans = self.spans
+        by_parent: dict[object, list[Span]] = {}
+        ids = {s.span_id for s in spans}
+        for s in spans:
+            # A span whose parent was dropped (or never recorded) roots its
+            # own subtree rather than vanishing from the view.
+            key = s.parent_id if s.parent_id in ids else None
+            by_parent.setdefault(key, []).append(s)
+
+        def order(s: Span):
+            return (
+                s.sim_t0 if s.sim_t0 is not None else float("inf"),
+                s.t0 if s.t0 is not None else float("inf"),
+                s.span_id,
+            )
+
+        def build(parent_key):
+            return [
+                (s, build(s.span_id))
+                for s in sorted(by_parent.get(parent_key, []), key=order)
+            ]
+
+        return build(None)
+
+
+class NullRecorder:
+    """The disabled-path recorder: every operation is a no-op."""
+
+    enabled = False
+    dropped = 0
+    spans: tuple = ()
+
+    def span(self, name: str, **kwargs) -> NullSpan:
+        return NULL_SPAN
+
+    def add(self, name: str, **kwargs) -> NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def advance_sim(self, simulated_seconds: float) -> float:
+        return 0.0
+
+    def defer_trace(self, events, parent, sim_base: float = 0.0) -> None:
+        pass
+
+    def tree(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class _ParentRef:
+    """A parent stand-in carrying just a ``span_id`` (deferred synthesis
+    happens after the real parent span object is out of scope)."""
+
+    __slots__ = ("span_id",)
+
+    def __init__(self, span_id):
+        self.span_id = span_id
+
+
+def spans_from_trace(recorder, events, parent, sim_base: float = 0.0,
+                     rounds: bool = True) -> int:
+    """Derive collective (and per-round) leaf spans from a launch's trace.
+
+    ``events`` are :class:`~repro.machine.trace.TraceEvent` records; each
+    becomes a ``collective.<op>`` span on its rank's track under ``parent``
+    (the launch span), offset by ``sim_base`` on the cumulative sim axis.
+    With ``rounds=True`` each event's per-round schedule times become child
+    ``round`` spans. Events are ordered by (rank, issue sequence) so the
+    exported span list is deterministic even though worker threads append
+    to the tracer concurrently. Returns the number of spans added.
+    """
+    ordered = sorted(
+        events,
+        key=lambda e: (
+            (0, e.rank) if e.rank is not None else (1, 0),
+            e.seq, e.t_start, e.t_end,
+        ),
+    )
+    # Hot path (thousands of spans per traced launch): construct Span
+    # records directly and publish the whole batch under one lock instead
+    # of going through ``recorder.add``'s kwargs packing per span.
+    parent_id = parent.span_id if parent is not None else None
+    ids = recorder._ids
+    batch: list[Span] = []
+    for event in ordered:
+        span = Span(
+            recorder, "collective." + event.op, next(ids),
+            parent_id=parent_id, rank=event.rank,
+            sim_t0=sim_base + event.t_start,
+            sim_t1=sim_base + event.t_end,
+        )
+        span.attrs = {
+            "words": event.words,
+            "rounds": event.rounds,
+            "congestion": event.congestion,
+        }
+        batch.append(span)
+        if rounds and len(event.round_times) > 1:
+            t = sim_base + event.t_start
+            collective_id = span.span_id
+            for i, round_cost in enumerate(event.round_times):
+                child = Span(
+                    recorder, "round", next(ids), parent_id=collective_id,
+                    rank=event.rank, sim_t0=t, sim_t1=t + round_cost,
+                )
+                child.attrs = {"index": i}
+                batch.append(child)
+                t += round_cost
+    recorder._publish_many(batch)
+    return len(batch)
+
+
+def format_tree(recorder, max_children: int = 12) -> str:
+    """A human-readable indentation rendering of the recorded span forest
+    (what ``python -m repro.obs summary`` and the quickstart print)."""
+    lines: list[str] = []
+
+    def fmt(span: Span) -> str:
+        parts = [span.name]
+        if span.rank is not None:
+            parts.append(f"rank={span.rank}")
+        if span.t0 is not None and span.t1 is not None:
+            parts.append(f"wall={span.duration * 1e3:.2f}ms")
+        if span.sim_t0 is not None and span.sim_t1 is not None:
+            parts.append(f"sim={span.sim_duration * 1e3:.3f}ms")
+        for key in ("algorithm", "backend", "topology", "n", "p"):
+            if key in span.attrs:
+                parts.append(f"{key}={span.attrs[key]}")
+        return "  ".join(parts)
+
+    def walk(nodes, depth):
+        shown = nodes[:max_children]
+        for span, children in shown:
+            lines.append("  " * depth + fmt(span))
+            walk(children, depth + 1)
+        if len(nodes) > len(shown):
+            lines.append(
+                "  " * depth + f"... {len(nodes) - len(shown)} more"
+            )
+
+    walk(recorder.tree(), 0)
+    return "\n".join(lines)

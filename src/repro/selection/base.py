@@ -102,10 +102,22 @@ class IterationRecord:
     local_after: int
     balanced: bool
     successful: bool = True
+    #: Simulated-clock interval of the iteration as this rank saw it
+    #: (``ctx.clock.now`` checkpoints stamped by the contraction engine;
+    #: deterministic — identical across backends — and the source the
+    #: observability layer derives iteration spans from). Both 0.0 for
+    #: records constructed outside the engine.
+    t_sim0: float = 0.0
+    t_sim1: float = 0.0
 
     @property
     def shrink(self) -> float:
         return self.n_after / self.n_before if self.n_before else 0.0
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds the iteration spanned (0.0 when unstamped)."""
+        return self.t_sim1 - self.t_sim0
 
 
 @dataclass

@@ -38,6 +38,7 @@ point, now a thin wrapper over :func:`contract_select`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -359,6 +360,8 @@ class ContractionEngine:
                 raise ConvergenceError(
                     f"{strat.name} exceeded {guard} iterations (n={iv.n})"
                 )
+            sim0 = ctx.clock.now
+            first_new = len(self.stats.iterations)
             proposal = strat.propose(iv)
             if isinstance(proposal, PivotProposal):
                 self._apply_pivot(iv, proposal.pivot, queue)
@@ -370,6 +373,15 @@ class ContractionEngine:
                 endgame.append(queue.pop(0))
             else:  # pragma: no cover - strategy contract violation
                 raise TypeError(f"unknown proposal {proposal!r}")
+            # Stamp the simulated-clock interval onto the record(s) this
+            # iteration produced. Pure bookkeeping after the fact: no
+            # charges, no RNG draws, no collectives — the clock reads are
+            # deterministic, so values/sim times stay bit-identical.
+            sim1 = ctx.clock.now
+            for j in range(first_new, len(self.stats.iterations)):
+                self.stats.iterations[j] = dataclasses.replace(
+                    self.stats.iterations[j], t_sim0=sim0, t_sim1=sim1,
+                )
         self._run_endgame(endgame)
         return self.results
 

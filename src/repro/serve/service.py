@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -104,6 +104,10 @@ class ServiceStats:
     #: first observation).
     p50_s: float = 0.0
     p99_s: float = 0.0
+    #: The machine's activity counters at snapshot time
+    #: (:meth:`repro.core.array.Machine.counters`: launches / forks /
+    #: reuses / pinned_bytes).
+    machine_counters: dict = field(default_factory=dict)
 
 
 class _Record:
@@ -392,7 +396,7 @@ class SelectionService:
                 # — it records each group's error on its own futures and
                 # re-raises the first one, which we swallow here because
                 # per-record routing below is the real delivery path.
-                await asyncio.to_thread(self._session.flush)
+                await asyncio.to_thread(self._flush_cycle, len(records))
             except Exception:
                 pass
             launch_delta = self._session.stats.launches - launches_before
@@ -418,6 +422,15 @@ class SelectionService:
                         rec.async_fut.set_exception(err)
             self._launches_saved += max(0, ok - launch_delta)
             self._fold_latencies()
+
+    def _flush_cycle(self, n_records: int) -> None:
+        """One blocking flush, span-wrapped *inside* the worker thread so
+        the session's flush/group/query spans nest under ``serve.cycle``
+        (span stacks are thread-local)."""
+        from ..obs import get_recorder
+
+        with get_recorder().span("serve.cycle", records=n_records):
+            self._session.flush()
 
     def _fold_latencies(self) -> None:
         if self._lat_buf:
@@ -493,6 +506,7 @@ class SelectionService:
             latency_count=sk.count,
             p50_s=float(sk.quantile(0.50)) if sk.count else 0.0,
             p99_s=float(sk.quantile(0.99)) if sk.count else 0.0,
+            machine_counters=self.machine.counters(),
         )
 
     @property

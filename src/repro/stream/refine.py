@@ -227,6 +227,7 @@ def execute_sketch_select(
         args=(k, cfg),
         backend=plan.backend,
         topology=plan.topology,
+        trace=plan.trace,
     )
     return core_session.finish_select(data, k, plan, balancer_name, result)
 
@@ -279,6 +280,7 @@ def execute_sketch_multi_select(
         args=(unique_ks, cfg),
         backend=plan.backend,
         topology=plan.topology,
+        trace=plan.trace,
     )
     return core_session.finish_multi(
         data, ks, unique_ks, plan, balancer_name, result

@@ -191,7 +191,7 @@ class TestRegistry:
     def test_experiment_ids(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
-            "ablation-delta", "ablation-partition", "multiselect",
+            "ablation-delta", "ablation-partition", "multiselect", "obs",
             "session", "backend", "pool", "stream", "topology", "serve",
         }
 

@@ -526,3 +526,54 @@ class TestHierarchicalCostModel:
             CostModel(tau_inter=bad)
         with pytest.raises(ConfigurationError):
             CostModel(mu_inter=bad)
+
+
+class TestTraceSummaryAggregates:
+    """Regression: machine-wide aggregate records (``TraceEvent.rank is
+    None``) used to fall through ``from_tracer``'s integer-rank filter
+    silently — a per-rank summary quietly under-counted whatever a
+    producer logged machine-wide. The handling is explicit now."""
+
+    @staticmethod
+    def _tracer():
+        from repro.machine.trace import TraceEvent, Tracer
+
+        tracer = Tracer()
+        tracer.record(TraceEvent(0, "broadcast", 4.0, 0.0, 1.0))
+        tracer.record(TraceEvent(1, "broadcast", 4.0, 0.0, 1.0))
+        tracer.record(TraceEvent(None, "balance", 16.0, 1.0, 3.0))
+        return tracer
+
+    def test_rank_filter_includes_aggregates_by_default(self):
+        from repro.machine.trace import TraceSummary
+
+        s = TraceSummary.from_tracer(self._tracer(), rank=0)
+        assert s.counts == {"broadcast": 1, "balance": 1}
+        assert s.time["balance"] == pytest.approx(2.0)
+
+    def test_exclude_restores_historical_filter(self):
+        from repro.machine.trace import TraceSummary
+
+        s = TraceSummary.from_tracer(
+            self._tracer(), rank=0, aggregates="exclude"
+        )
+        assert s.counts == {"broadcast": 1}
+        assert "balance" not in s.counts
+
+    def test_only_selects_aggregate_records(self):
+        from repro.machine.trace import TraceSummary
+
+        s = TraceSummary.from_tracer(self._tracer(), aggregates="only")
+        assert s.counts == {"balance": 1}
+
+    def test_no_filter_sums_everything(self):
+        from repro.machine.trace import TraceSummary
+
+        s = TraceSummary.from_tracer(self._tracer())
+        assert s.counts == {"broadcast": 2, "balance": 1}
+
+    def test_bad_mode_raises(self):
+        from repro.machine.trace import TraceSummary
+
+        with pytest.raises(ValueError, match="aggregates"):
+            TraceSummary.from_tracer(self._tracer(), aggregates="sometimes")
