@@ -1,0 +1,88 @@
+"""Query planner: the planner PR's acceptance bar.
+
+Claims pinned here:
+
+1. Auto is value-safe and never slower than the default plan: with the
+   residual store calibrated by the static runs of the same point,
+   ``algorithm="auto"`` answers bit-identically to every static plan and
+   its median simulated time is <= the default plan's (fast_randomized)
+   across a (n, p, distribution) grid.
+2. Auto beats the worst static plan by >= 1.5x on every grid point (the
+   planner's reason to exist: picking by cost model avoids the
+   catastrophic choices).
+3. Planning is effectively free: one pure ``choose_plan`` call costs
+   < 1 ms median wall.
+4. Self-calibration works: the residual store shrinks the median
+   predicted-vs-actual relative error on every point.
+
+Full grid: ``python -m repro.bench planner --scale paper``.
+"""
+
+import pytest
+
+from repro.bench.harness import KILO, run_planner_point
+
+GRID = [
+    (32 * KILO, 4, "random"),
+    (32 * KILO, 16, "random"),
+    (128 * KILO, 8, "random"),
+    (32 * KILO, 8, "sorted"),
+    (128 * KILO, 16, "sorted"),
+]
+
+MIN_SPEEDUP_VS_WORST = 1.5
+MAX_PLAN_OVERHEAD_S = 1e-3
+
+
+@pytest.mark.parametrize("n,p,distribution", GRID)
+def test_auto_beats_default_and_worst(benchmark, n, p, distribution):
+    pt = benchmark.pedantic(
+        run_planner_point, args=(n, p),
+        kwargs=dict(distribution=distribution, trials=3), rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["chosen_algorithm"] = pt.chosen_algorithm
+    benchmark.extra_info["speedup_vs_default"] = pt.speedup_vs_default
+    benchmark.extra_info["speedup_vs_worst"] = pt.speedup_vs_worst
+    benchmark.extra_info["planner_overhead_s"] = pt.overhead_s
+    assert pt.value_match, (
+        "auto answered differently from a static plan — the planner broke "
+        "value identity"
+    )
+    assert pt.auto_simulated <= pt.default_simulated * (1 + 1e-9), (
+        f"auto ({pt.chosen_algorithm}, {pt.auto_simulated:.6f}s) is slower "
+        f"than the default plan ({pt.default_simulated:.6f}s) at "
+        f"n={n}, p={p}, {distribution}"
+    )
+    assert pt.speedup_vs_worst >= MIN_SPEEDUP_VS_WORST, (
+        f"auto is only {pt.speedup_vs_worst:.2f}x over the worst static "
+        f"plan (need >= {MIN_SPEEDUP_VS_WORST}x) at n={n}, p={p}, "
+        f"{distribution}"
+    )
+
+
+def test_planner_overhead_under_1ms(benchmark):
+    pt = benchmark.pedantic(
+        run_planner_point, args=(128 * KILO, 8),
+        kwargs=dict(trials=2), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["planner_overhead_s"] = pt.overhead_s
+    assert pt.overhead_s < MAX_PLAN_OVERHEAD_S, (
+        f"choose_plan costs {pt.overhead_s * 1e3:.3f} ms median "
+        f"(budget {MAX_PLAN_OVERHEAD_S * 1e3:.1f} ms)"
+    )
+
+
+def test_calibration_shrinks_relative_error(benchmark):
+    pt = benchmark.pedantic(
+        run_planner_point, args=(64 * KILO, 8),
+        kwargs=dict(trials=3), rounds=1, iterations=1,
+    )
+    before = pt.median_rel_err(corrected=False)
+    after = pt.median_rel_err(corrected=True)
+    benchmark.extra_info["median_rel_err_before"] = before
+    benchmark.extra_info["median_rel_err_after"] = after
+    assert after < before, (
+        f"residual calibration did not shrink the median relative error "
+        f"(before={before:.4f}, after={after:.4f})"
+    )

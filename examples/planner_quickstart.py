@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The query planner in one screen: auto plans, explained and calibrated.
+
+``algorithm="auto"`` prices every closed-form algorithm on the machine's
+actual topology with the paper's cost model and launches the predicted
+winner. Selection is a k-th order statistic, so the choice can only move
+simulated time, never the answer — this script pins an auto query
+bit-identical to every static plan, prints the planner's ranked
+candidate table, shows residual self-calibration shrinking the
+prediction error, and reprices the same query on a hypercube.
+
+Run:  python examples/planner_quickstart.py
+"""
+
+import repro
+from repro.planner import ResidualStore, choose_plan, default_store, use_store
+
+N, P, K = 200_000, 8, 100_000
+
+
+def main():
+    machine = repro.Machine(P)
+    data = machine.generate(N, distribution="sorted", seed=11)
+
+    # Auto answers bit-identically to every static plan (same value AND
+    # the chosen algorithm's exact simulated clock).
+    auto = data.select(K, algorithm="auto", seed=3)
+    statics = {alg: data.select(K, algorithm=alg, seed=3)
+               for alg in ("median_of_medians", "bucket_based",
+                           "randomized", "fast_randomized")}
+    assert all(r.value == auto.value for r in statics.values())
+    assert auto.simulated_time == statics[auto.algorithm].simulated_time
+    print(f"select(k={K}) on sorted n={N}, p={P}")
+    print(f"  auto chose {auto.algorithm}: "
+          f"{auto.simulated_time * 1e3:.2f} ms simulated "
+          f"(value identical across all 5 plans)")
+    worst = max(r.simulated_time for r in statics.values())
+    print(f"  worst static plan: {worst * 1e3:.2f} ms "
+          f"({worst / auto.simulated_time:.1f}x slower)")
+
+    # The decision, explained: predicted / correction / corrected per
+    # candidate (the same table `python -m repro.planner explain` prints).
+    decision = choose_plan(N, P, machine.cost_model, machine.topology,
+                           store=ResidualStore())
+    print("\nranked candidates (fresh store, corrections all 1.0):")
+    print("  " + decision.table().replace("\n", "\n  "))
+
+    # Self-calibration: the launches above already fed actual/predicted
+    # ratios into the default residual store, so the same query now
+    # prices with corrections and the corrected error collapses.
+    calibrated = choose_plan(N, P, machine.cost_model, machine.topology,
+                             store=default_store())
+    chosen = calibrated.winner
+    actual = statics[chosen.plan.algorithm].simulated_time
+    err_before = abs(chosen.predicted - actual) / actual
+    err_after = abs(chosen.corrected - actual) / actual
+    assert err_after <= err_before
+    print(f"\nresidual calibration on {chosen.label()}: "
+          f"rel err {err_before:.1%} -> {err_after:.1%} "
+          f"(correction x{chosen.correction:.3f} learned from "
+          f"{len(statics) + 1} launches)")
+
+    # Topology-aware pricing: the same query priced on a hierarchical
+    # two-level machine uses the lowered round schedules — slow
+    # inter-cluster links the paper's crossbar formulas cannot see.
+    with use_store(ResidualStore()):
+        two = choose_plan(N, P, machine.cost_model, "two-level:4")
+    assert two.winner.predicted > decision.winner.predicted
+    print(f"\non a two-level machine the winner is {two.winner.label()} at "
+          f"{two.winner.predicted * 1e3:.2f} ms predicted "
+          f"(crossbar predicted {decision.winner.predicted * 1e3:.2f} ms — "
+          f"inter-cluster rounds cost extra)")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,7 @@ from .harness import (
     run_multiselect_point,
     run_point,
     run_obs_point,
+    run_planner_point,
     run_pool_point,
     run_series,
     run_serve_point,
@@ -643,6 +644,50 @@ def obs(scale: str = "small") -> FigureResult:
     return FigureResult("obs", "Observability capture overhead", text, points)
 
 
+def planner(scale: str = "small") -> FigureResult:
+    """Query planner: auto-tuned plans vs every static plan on a
+    (n, p, distribution) grid. Each cell runs the four closed-form
+    algorithms as explicit plans (feeding a fresh residual store through
+    the ordinary launch path), then ``algorithm="auto"`` over the same
+    query — the gates assert auto is never slower than the default plan
+    and beats the worst static plan, that planning itself costs <1 ms,
+    and that residual calibration shrinks the median predicted-vs-actual
+    relative error."""
+    cfg = _scale(scale)
+    trials = max(2, cfg["trials"] + 1)
+    rows: list[str] = []
+    points = []
+    for distribution in ("random", "sorted"):
+        for n in cfg["n_list"]:
+            for p in cfg["bar_p_sweep"][:3]:
+                pt = run_planner_point(
+                    n, p, distribution=distribution, trials=trials,
+                )
+                points.append(pt)
+                match = "ok" if pt.value_match else "VALUES MISMATCH"
+                rows.append(
+                    f"  n={n // KILO:>5d}k p={p:<3d} {distribution:<6s} "
+                    f"[{match}]  auto={pt.chosen_algorithm:<17s} "
+                    f"{pt.auto_simulated * 1e3:8.2f} ms  "
+                    f"default x{pt.speedup_vs_default:5.2f}  "
+                    f"worst x{pt.speedup_vs_worst:6.2f}  "
+                    f"plan={pt.overhead_s * 1e6:6.1f} us  "
+                    f"err {pt.median_rel_err(False) * 100:5.1f}% -> "
+                    f"{pt.median_rel_err(True) * 100:5.2f}%"
+                )
+    text = (
+        "== Cost-model-driven query planner: auto vs static plans ==\n"
+        "Per cell: four static closed-form plans run first (calibrating\n"
+        "the residual store through the normal launch path), then\n"
+        "algorithm='auto' plans with the learned corrections. Speedups\n"
+        "are medians over trials; err columns are the median\n"
+        "predicted-vs-actual relative error before -> after calibration.\n"
+        + "\n".join(rows) + "\n"
+    )
+    return FigureResult("planner", "Query planner: auto vs static plans",
+                        text, points)
+
+
 EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "fig1": fig1,
     "fig2": fig2,
@@ -655,6 +700,7 @@ EXPERIMENTS: dict[str, Callable[[str], FigureResult]] = {
     "ablation-partition": ablation_partition,
     "multiselect": multiselect,
     "obs": obs,
+    "planner": planner,
     "session": session,
     "backend": backend,
     "pool": pool,

@@ -30,6 +30,7 @@ from ..selection.fast_randomized import FastRandomizedParams
 __all__ = [
     "BackendPointResult",
     "ObsPointResult",
+    "PlannerPointResult",
     "PointResult",
     "PoolPointResult",
     "ServePointResult",
@@ -38,6 +39,7 @@ __all__ = [
     "TopologyPointResult",
     "run_backend_point",
     "run_obs_point",
+    "run_planner_point",
     "run_point",
     "run_multiselect_point",
     "run_pool_point",
@@ -1297,3 +1299,188 @@ def run_obs_point(
         result.chrome_valid = not validate_chrome(doc)
     result.wall_on = min(walls)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Planner experiment: static plans vs the auto plan, on one grid point
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlannerPointResult:
+    """One (n, p, distribution) cell of the planner evaluation grid.
+
+    Every closed-form algorithm runs as an explicit static plan first
+    (feeding a fresh residual store through the normal launch path), then
+    ``algorithm="auto"`` runs the same query. Per static plan the point
+    records predicted-vs-actual relative error *before* (raw closed form)
+    and *after* (residual-corrected) calibration; for the auto arm it
+    records the chosen algorithm, the pure planning overhead, and the
+    speedups the bench gates assert (auto never slower than the default
+    plan; auto beats the worst static plan).
+    """
+
+    n: int
+    p: int
+    distribution: str
+    trials: int
+    #: algorithm -> median simulated seconds of its static plan.
+    simulated: dict = field(default_factory=dict)
+    #: algorithm -> raw closed-form prediction (seconds).
+    predicted: dict = field(default_factory=dict)
+    #: algorithm -> residual-corrected prediction (seconds).
+    corrected: dict = field(default_factory=dict)
+    chosen_algorithm: str = ""
+    auto_simulated: float = 0.0
+    #: Median wall seconds of one pure ``choose_plan`` call (no launches).
+    overhead_s: float = 0.0
+    #: Auto's answer equals every static plan's answer (k-th order
+    #: statistic; algorithm-independent by construction).
+    value_match: bool = False
+
+    def rel_err(self, algorithm: str, corrected: bool) -> float:
+        pred = (self.corrected if corrected else self.predicted)[algorithm]
+        actual = self.simulated[algorithm]
+        return abs(pred - actual) / actual if actual > 0 else 0.0
+
+    def median_rel_err(self, corrected: bool) -> float:
+        return statistics.median(
+            self.rel_err(a, corrected) for a in self.simulated
+        )
+
+    @property
+    def default_simulated(self) -> float:
+        """The repo-wide default plan's algorithm (fast_randomized)."""
+        return self.simulated["fast_randomized"]
+
+    @property
+    def best_simulated(self) -> float:
+        return min(self.simulated.values())
+
+    @property
+    def worst_simulated(self) -> float:
+        return max(self.simulated.values())
+
+    @property
+    def speedup_vs_default(self) -> float:
+        return self.default_simulated / self.auto_simulated
+
+    @property
+    def speedup_vs_worst(self) -> float:
+        return self.worst_simulated / self.auto_simulated
+
+    def as_row(self) -> dict:
+        return {
+            "n": self.n,
+            "p": self.p,
+            "distribution": self.distribution,
+            "trials": self.trials,
+            "chosen_algorithm": self.chosen_algorithm,
+            "auto_simulated_s": self.auto_simulated,
+            "default_simulated_s": self.default_simulated,
+            "best_simulated_s": self.best_simulated,
+            "worst_simulated_s": self.worst_simulated,
+            "speedup_vs_default": self.speedup_vs_default,
+            "speedup_vs_worst": self.speedup_vs_worst,
+            "planner_overhead_s": self.overhead_s,
+            "median_rel_err_before": self.median_rel_err(False),
+            "median_rel_err_after": self.median_rel_err(True),
+            "value_match": self.value_match,
+        }
+
+    def as_json(self) -> dict:
+        """Schema for the committed ``BENCH_planner.json`` artifact."""
+        row = self.as_row()
+        row["experiment"] = "planner"
+        row["static"] = {
+            a: {
+                "simulated_s": self.simulated[a],
+                "predicted_s": self.predicted[a],
+                "corrected_s": self.corrected[a],
+                "rel_err_before": self.rel_err(a, corrected=False),
+                "rel_err_after": self.rel_err(a, corrected=True),
+            }
+            for a in sorted(self.simulated)
+        }
+        return row
+
+
+def run_planner_point(
+    n: int,
+    p: int,
+    distribution: str = "random",
+    trials: int = 3,
+    seed: int = 0,
+    backend: str | None = None,
+    cost_model: CostModel | None = None,
+    impl_override: str | None = "introselect",
+    overhead_reps: int = 5,
+) -> PlannerPointResult:
+    """Static plans vs auto on one grid point, with a fresh residual store.
+
+    The store starts empty (``use_store`` isolates the point from the
+    process default), the static runs feed it through the ordinary
+    ``observe_launch`` path, and the auto run then plans with the learned
+    corrections — which is exactly the production calibration loop,
+    compressed into one cell.
+    """
+    from ..planner.cost import CLOSED_FORM_ALGORITHMS
+    from ..planner.planner import choose_plan
+    from ..planner.residuals import ResidualStore, use_store
+
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    machine = Machine(n_procs=p, cost_model=cost_model or CM5,
+                      backend=backend)
+    data = machine.generate(n, distribution=distribution, seed=seed)
+    k = median_rank(n)
+    point = PlannerPointResult(n=n, p=p, distribution=distribution,
+                               trials=trials)
+    values = set()
+    with use_store(ResidualStore()) as store:
+        one_shot = Session(machine, cache=False)
+        for algorithm in CLOSED_FORM_ALGORITHMS:
+            sims = []
+            for t in range(trials):
+                plan = SelectionPlan(
+                    algorithm=algorithm, seed=seed + t,
+                    impl_override=impl_override,
+                )
+                report = one_shot.run_select(data, k, plan)
+                sims.append(report.simulated_time)
+                values.add(report.value)
+                point.predicted[algorithm] = report.predicted_time
+            point.simulated[algorithm] = statistics.median(sims)
+            point.corrected[algorithm] = (
+                point.predicted[algorithm]
+                * store.correction(algorithm, machine.topology, p)
+            )
+        walls = []
+        for _ in range(overhead_reps):
+            t0 = time.perf_counter()
+            decision = choose_plan(n, p, machine.cost_model,
+                                   machine.topology, store=store)
+            walls.append(time.perf_counter() - t0)
+        walls.sort()
+        point.overhead_s = walls[len(walls) // 2]
+        sims = []
+        for t in range(trials):
+            # Each auto trial plans against a clone of the post-static
+            # store: the arm measures the calibrated choice itself, not
+            # its own trial-to-trial feedback, so every trial resolves to
+            # the same plan choose_plan returned and its launches stay
+            # bit-identical to the matching static trials.
+            with use_store(store.clone()):
+                plan = SelectionPlan(algorithm="auto", seed=seed + t,
+                                     impl_override=impl_override)
+                report = one_shot.run_select(data, k, plan)
+            sims.append(report.simulated_time)
+            values.add(report.value)
+            if t == 0:
+                point.chosen_algorithm = report.algorithm
+                assert report.algorithm == decision.chosen.algorithm, (
+                    "launch-path auto resolution disagrees with choose_plan"
+                )
+        point.auto_simulated = statistics.median(sims)
+    point.value_match = len(values) == 1
+    return point

@@ -75,24 +75,36 @@ def predict(
     p: int,
     model: CostModel = CM5,
     table: int = 1,
+    *,
+    coll_cost=None,
+    gather_cost=None,
 ) -> Prediction:
     """Closed-form simulated-seconds estimate for one grid point.
 
     ``table=1`` gives the balanced/expected-case prediction (random data);
     ``table=2`` the worst-case one (sorted data, no balancing).
+
+    ``coll_cost(model, p)`` / ``gather_cost(model, p, words=...)`` replace
+    the default crossbar collective prices — the planner injects prices
+    derived from an actual lowered :class:`~repro.machine.topology.Schedule`
+    here to predict on any machine shape with the same compute skeleton.
     """
     if table not in (1, 2):
         raise ConfigurationError(f"table must be 1 or 2, got {table}")
+    if coll_cost is None:
+        coll_cost = _coll_cost
+    if gather_cost is None:
+        gather_cost = _gather_cost
     c = model.compute
     np_ = n / max(p, 1)
     L = _iters_log(n, p)
     LL = _iters_loglog(n)
-    per_coll = _coll_cost(model, p)
+    per_coll = coll_cost(model, p)
 
     if algorithm == "median_of_medians":
         unit = c.select_deterministic + c.partition
         compute = 2.0 * np_ * unit if table == 1 else np_ * unit * L
-        comm = L * (_COLLS_MOM * per_coll + _gather_cost(model, p))
+        comm = L * (_COLLS_MOM * per_coll + gather_cost(model, p))
     elif algorithm == "bucket_based":
         nb = max(2, log2_ceil(max(p, 2)))
         preprocess = c.bucket_level * np_ * log2_ceil(nb)
@@ -102,7 +114,7 @@ def predict(
         else:
             # Paper: n/p (log log p + log n / log p) class.
             compute = preprocess + (np_ / nb) * unit * L
-        comm = L * (_COLLS_MOM * per_coll + _gather_cost(model, p, words=2))
+        comm = L * (_COLLS_MOM * per_coll + gather_cost(model, p, words=2))
     elif algorithm == "randomized":
         if table == 1:
             compute = _GAMMA_RANDOMIZED * np_ * c.partition
@@ -117,14 +129,14 @@ def predict(
         s = n ** 0.6
         sort_unit = c.sort_per_cmp * (s / p) * max(1.0, math.log2(max(s, 2)))
         compute += LL * sort_unit
-        comm = LL * (_COLLS_FAST * per_coll + _gather_cost(model, p, words=p))
+        comm = LL * (_COLLS_FAST * per_coll + gather_cost(model, p, words=p))
     else:
         raise ConfigurationError(
             f"no closed-form prediction for algorithm {algorithm!r}"
         )
     # Endgame: gather <= p^2 keys + one sequential selection.
     endgame_n = min(n, max(p * p, 1))
-    comm += _gather_cost(model, p, words=endgame_n / max(p, 1))
+    comm += gather_cost(model, p, words=endgame_n / max(p, 1))
     compute += endgame_n * c.select_randomized
     return Prediction(algorithm=algorithm, table=table, compute=compute,
                       comm=comm)

@@ -100,7 +100,12 @@ class SelectionPlan:
     Attributes
     ----------
     algorithm:
-        One of :data:`repro.selection.ALGORITHMS`.
+        One of :data:`repro.selection.ALGORITHMS`, or ``"auto"`` to let
+        the query planner (:mod:`repro.planner`) pick the predicted-fastest
+        algorithm per (array, machine shape) at launch time. Auto plans
+        answer bit-identically to the plan the planner would return from
+        :func:`repro.planner.plan_query` (selection values are
+        algorithm-independent: the k-th order statistic).
     balancer:
         Load balancing strategy name (``"none"``, ``"omlb"``,
         ``"modified_omlb"``, ``"dimension_exchange"``, ``"global_exchange"``),
@@ -177,10 +182,10 @@ class SelectionPlan:
     trace: bool | None = None
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ALGORITHMS:
+        if self.algorithm != "auto" and self.algorithm not in ALGORITHMS:
             raise ConfigurationError(
                 f"unknown algorithm {self.algorithm!r}; "
-                f"available: {sorted(ALGORITHMS)}"
+                f"available: {sorted(ALGORITHMS) + ['auto']}"
             )
         if self.balancer != "default":
             # get_balancer raises the registry's "unknown balancer ...;
@@ -250,6 +255,12 @@ class SelectionPlan:
         A fresh balancer instance is created per call, exactly as the
         historical per-call resolution did.
         """
+        if self.algorithm == "auto":
+            raise ConfigurationError(
+                "algorithm='auto' must be resolved by the planner before "
+                "launch (repro.planner.resolve_auto); launch paths do this "
+                "automatically"
+            )
         fn, default_seq, needs_balance = ALGORITHMS[self.algorithm]
         if self.balancer == "default":
             # Paper defaults: MoM requires balancing (its figures use global

@@ -168,26 +168,32 @@ def empty_multi_report(
 
 
 def predict_simulated(plan: SelectionPlan, n: int, p: int, model,
-                      topology: str) -> float | None:
+                      topology) -> float | None:
     """Closed-form predicted simulated seconds for one launch, or ``None``.
 
-    Delegates to :func:`repro.bench.model.predict` (lazy import: the bench
-    package imports the core layers). Only the four algorithms with closed
-    forms predict, and only on the crossbar topology the forms were derived
-    for — hybrids, sort-based plans and routed topologies return ``None``
-    rather than a knowingly-wrong number.
+    Delegates to :func:`repro.planner.cost.predict_on_topology` (lazy
+    import: the planner package imports the bench layer, which imports
+    core), which prices the crossbar with the legacy closed forms
+    bit-identically and every other shape by injecting that topology's
+    lowered-Schedule collective prices into the same skeleton.
+    ``topology`` is whatever the launch resolved against — a spec string,
+    a :class:`~repro.machine.topology.Topology` instance, or ``None`` for
+    the default. Only the four algorithms with closed forms predict —
+    hybrids and sort-based plans return ``None`` rather than a
+    knowingly-wrong number, as do sketch-prefiltered launches (they do
+    work the closed forms don't model).
     """
-    if n <= 0 or topology != "crossbar":
+    if n <= 0:
         return None
     if plan.prefilter is not None:
-        # Sketch-prefiltered launches do work the closed forms don't model.
         return None
     try:
-        from ..bench.model import predict
-    except ImportError:  # pragma: no cover - bench is always shipped
+        from ..planner.cost import predict_on_topology
+    except ImportError:  # pragma: no cover - planner is always shipped
         return None
     try:
-        return predict(plan.algorithm, n, p, model=model).total
+        return predict_on_topology(plan.algorithm, n, p, model,
+                                   topology).total
     except ConfigurationError:
         return None
 
@@ -208,6 +214,13 @@ def observe_launch(data: "DistributedArray", plan: SelectionPlan,
         REGISTRY.histogram(
             "repro.launch.cost_residual", algorithm=plan.algorithm
         ).observe(residual)
+        # Self-calibration: the planner's residual store learns a
+        # per-(algorithm, topology, p-bucket) correction from every
+        # predicted launch (lazy import: planner imports bench).
+        from ..planner.residuals import default_store
+
+        default_store().observe(plan.algorithm, result.topology, data.p,
+                                predicted, result.simulated_time)
     recorder = get_recorder()
     span = getattr(result, "span", None)
     if not recorder.enabled or span is None or not span:
@@ -249,8 +262,10 @@ def finish_select(
     stats: SelectionStats = result.values[0][1]
     first = values[0]
     assert all(v == first for v in values), "ranks disagree on the answer"
-    predicted = predict_simulated(plan, data.n, data.p,
-                                  data.machine.cost_model, result.topology)
+    predicted = predict_simulated(
+        plan, data.n, data.p, data.machine.cost_model,
+        plan.topology if plan.topology is not None else data.machine.topology,
+    )
     observe_launch(data, plan, [k], result, stats, predicted)
     return SelectionReport(
         value=first,
@@ -287,8 +302,11 @@ def finish_multi(
     # The closed forms price a single-target contraction; batched launches
     # tracking several live intervals have no form, so don't pretend.
     predicted = (
-        predict_simulated(plan, data.n, data.p, data.machine.cost_model,
-                          result.topology)
+        predict_simulated(
+            plan, data.n, data.p, data.machine.cost_model,
+            plan.topology if plan.topology is not None
+            else data.machine.topology,
+        )
         if len(unique_ks) == 1 else None
     )
     observe_launch(data, plan, ks, result, stats, predicted)
@@ -325,6 +343,11 @@ def execute_select(
     and surface as ``WorkerError``).
     """
     k = validate_rank(k, data.n)
+    if plan.algorithm == "auto":
+        # Cost-model-driven choice (lazy import: planner imports bench).
+        from ..planner.planner import resolve_auto
+
+        plan = resolve_auto(data, plan)
     with get_recorder().span("query", kind="select", algorithm=plan.algorithm,
                              n=data.n, p=data.p, k=k):
         if plan.prefilter == "sketch":
@@ -353,6 +376,10 @@ def execute_multi_select(
     live set when a pivot lands between two targets, and the endgame costs
     one Gather + Broadcast however many intervals survive.
     """
+    if plan.algorithm == "auto":
+        from ..planner.planner import resolve_auto
+
+        plan = resolve_auto(data, plan)
     with get_recorder().span("query", kind="multi_select",
                              algorithm=plan.algorithm, n=data.n, p=data.p,
                              n_ks=len(ks)):

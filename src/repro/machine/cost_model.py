@@ -185,6 +185,18 @@ class CostModel:
             raise ConfigurationError(f"p must be >= 1, got {p}")
         return max(0, int(math.ceil(math.log2(p)))) if p > 1 else 0
 
+    def calibrate(self, machine, **kwargs) -> "CostModel":
+        """Re-fit ``tau``/``mu`` from probe launches on ``machine``.
+
+        Convenience front door to
+        :func:`repro.planner.calibrate.calibrate_cost_model` (lazy import:
+        the planner package imports this module). Returns a new model with
+        host-fitted constants; ``self`` and ``machine`` are unchanged.
+        """
+        from ..planner.calibrate import calibrate_cost_model
+
+        return calibrate_cost_model(machine, model=self, **kwargs)
+
     def replace(self, **kwargs) -> "CostModel":
         """Return a copy with selected fields replaced (compute merges)."""
         compute_kwargs = {

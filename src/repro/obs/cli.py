@@ -37,10 +37,12 @@ def _cmd_summary(args) -> int:
     rows = _load_rows(args.trace)
     roots = sum(1 for r in rows if r.get("parent_id") is None)
     print(f"{len(rows)} spans ({roots} roots) in {args.trace}")
-    print(f"{'name':<28} {'count':>7} {'wall_s':>10} {'sim_s':>12}")
+    print(f"{'name':<28} {'count':>7} {'wall_s':>10} {'sim_s':>12} "
+          f"{'pred_s':>12} {'actual_s':>12}")
     for agg in summarize(rows)[: args.top]:
         print(f"{agg['name']:<28} {agg['count']:>7} "
-              f"{agg['wall_s']:>10.4f} {agg['sim_s']:>12.6f}")
+              f"{agg['wall_s']:>10.4f} {agg['sim_s']:>12.6f} "
+              f"{agg['pred_s']:>12.6f} {agg['actual_s']:>12.6f}")
     return 0
 
 

@@ -198,17 +198,29 @@ def validate_chrome(doc) -> list[str]:
 
 
 def summarize(rows: list[dict]) -> list[dict]:
-    """Per-name aggregates over exported span rows (the CLI table)."""
+    """Per-name aggregates over exported span rows (the CLI table).
+
+    ``pred_s`` sums the planner's predicted simulated seconds over spans
+    that carried a prediction and ``actual_s`` the matching simulated
+    seconds of those same spans, so predicted-vs-actual is comparable
+    per name at a glance (both are 0.0 for names that never predict).
+    """
     table: dict[str, dict] = {}
     for row in rows:
         agg = table.setdefault(row.get("name", "?"), {
             "name": row.get("name", "?"), "count": 0,
-            "wall_s": 0.0, "sim_s": 0.0,
+            "wall_s": 0.0, "sim_s": 0.0, "pred_s": 0.0, "actual_s": 0.0,
         })
         agg["count"] += 1
         if row.get("t0_s") is not None and row.get("t1_s") is not None:
             agg["wall_s"] += row["t1_s"] - row["t0_s"]
+        sim = None
         if row.get("sim_t0_s") is not None and row.get("sim_t1_s") is not None:
-            agg["sim_s"] += row["sim_t1_s"] - row["sim_t0_s"]
+            sim = row["sim_t1_s"] - row["sim_t0_s"]
+            agg["sim_s"] += sim
+        predicted = (row.get("attrs") or {}).get("predicted_s")
+        if predicted is not None and sim is not None:
+            agg["pred_s"] += predicted
+            agg["actual_s"] += sim
     return sorted(table.values(),
                   key=lambda a: (-a["wall_s"], -a["sim_s"], a["name"]))

@@ -1,0 +1,10 @@
+"""Entry point for ``python -m repro.planner`` (see :mod:`repro.planner.cli`)."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

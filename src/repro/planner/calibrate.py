@@ -1,0 +1,118 @@
+"""Fit tau/mu from probe launches: ground predictions on the actual host.
+
+The paper's constants (``CM5``) describe a 1993 CM-5; the simulator's
+*wall clock* on this host is whatever Python and the execution backend
+make it. For the planner's predictions to rank plans by what the user
+actually waits for, the cost model's communication constants can be
+re-fit from measurements: launch a small fixed grid of probe programs
+(``reps`` combines of ``w``-word payloads), time them, and least-squares
+fit ``wall(w) = c0 + reps * rounds * (tau + mu * w)`` — the same
+per-collective shape every topology's schedule charges. ``c0`` absorbs
+the launch overhead so it never pollutes the per-collective constants.
+
+Hierarchical models keep their inter/intra ratios: ``tau_inter/tau`` and
+``mu_inter/mu`` are preserved under the re-fit, since the probe grid
+cannot separate link classes (every combine crosses both).
+
+Entry points: :func:`calibrate_cost_model`, or the convenience method
+``CostModel.calibrate(machine)``.
+"""
+
+from __future__ import annotations
+
+import operator
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.cost_model import CostModel
+from ..machine.topology import log2_ceil
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.array import Machine
+
+__all__ = ["calibrate_cost_model", "DEFAULT_PROBE_SIZES"]
+
+#: Payload sizes (words) of the probe grid: a latency point, a mid point
+#: and a bandwidth point, so tau and mu separate cleanly in the fit.
+DEFAULT_PROBE_SIZES: tuple[int, ...] = (1, 2048, 65536)
+
+#: Constants are clamped to this floor so a fast host can never fit a
+#: zero/negative price (which would make every plan free and ranking moot).
+_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class _ProbeProgram:
+    """Picklable probe body: ``reps`` combines of a ``words``-word payload.
+
+    A frozen dataclass (not a closure) so the persistent pool backend can
+    ship it to workers; ``operator.add`` keeps the reduction picklable.
+    """
+
+    words: int
+    reps: int
+
+    def __call__(self, ctx, shard):
+        payload = np.zeros(self.words, dtype=np.float64)
+        acc = 0.0
+        for _ in range(self.reps):
+            out = ctx.comm.combine(payload, op=operator.add)
+            acc += float(out[0])
+        return acc
+
+
+def _median_wall(machine: "Machine", program: _ProbeProgram,
+                 trials: int) -> float:
+    walls = []
+    shards = [np.zeros(1) for _ in range(machine.n_procs)]
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        machine.run(program, rank_args=[(s,) for s in shards])
+        walls.append(time.perf_counter() - t0)
+    walls.sort()
+    return walls[len(walls) // 2]
+
+
+def calibrate_cost_model(
+    machine: "Machine",
+    reps: int = 8,
+    sizes: tuple[int, ...] = DEFAULT_PROBE_SIZES,
+    trials: int = 3,
+    model: "CostModel | None" = None,
+) -> CostModel:
+    """Probe ``machine`` and return its cost model re-fit to wall time.
+
+    Runs ``len(sizes) * trials`` launches (a few hundred milliseconds on
+    the default shapes). The returned model has host-fitted ``tau``/``mu``
+    (hierarchical ratios preserved from ``model``, defaulting to the
+    machine's own), a ``*-calibrated`` name, and is otherwise identical;
+    the machine itself is not mutated — rebuild it (or a Session) with the
+    returned model to plan against it.
+    """
+    if reps < 1 or trials < 1 or len(sizes) < 2:
+        raise ConfigurationError(
+            "calibration needs reps >= 1, trials >= 1 and >= 2 probe sizes"
+        )
+    if model is None:
+        model = machine.cost_model
+    rounds = log2_ceil(max(machine.n_procs, 2))
+    rows, walls = [], []
+    for words in sizes:
+        wall = _median_wall(machine, _ProbeProgram(int(words), reps), trials)
+        rows.append([1.0, reps * rounds, reps * rounds * float(words)])
+        walls.append(wall)
+    coeff, *_ = np.linalg.lstsq(np.asarray(rows), np.asarray(walls),
+                                rcond=None)
+    tau = float(max(coeff[1], _FLOOR))
+    mu = float(max(coeff[2], _FLOOR))
+    changes: dict = {"tau": tau, "mu": mu,
+                     "name": f"{model.name}-calibrated"}
+    if model.tau_inter is not None and model.tau > 0.0:
+        changes["tau_inter"] = tau * (model.tau_inter / model.tau)
+    if model.mu_inter is not None and model.mu > 0.0:
+        changes["mu_inter"] = mu * (model.mu_inter / model.mu)
+    return model.replace(**changes)

@@ -1,0 +1,73 @@
+"""``python -m repro.planner`` — explain a planning decision.
+
+``explain`` runs the planner analytically (no launches, no arrays) for a
+query shape you describe on the command line and prints the ranked
+candidate table: per candidate the closed-form prediction, the residual
+store's learned correction (1.0 in a fresh process) and the corrected
+cost the argmin ranks on.
+
+Example::
+
+    python -m repro.planner explain --n 1000000 --p 16 --topology hypercube
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..machine.cost_model import cm5, cm5_fast_network, cm5_two_level
+from ..machine.topology import available_topologies
+from .planner import choose_plan
+
+__all__ = ["main"]
+
+_MODELS = {
+    "cm5": cm5,
+    "cm5-fastnet": cm5_fast_network,
+    "cm5-2level": cm5_two_level,
+}
+
+
+def _cmd_explain(args) -> int:
+    decision = choose_plan(
+        args.n,
+        args.p,
+        _MODELS[args.model](),
+        topology=args.topology,
+        sketches_available=args.sketch,
+        hint=args.hint,
+    )
+    print(decision.table())
+    winner = decision.winner
+    if winner is not None:
+        print(f"winner: {winner.label()} "
+              f"(corrected {winner.corrected * 1e3:.4f} ms)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.planner",
+        description="Explain cost-model-driven plan choices.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "explain", help="print the ranked candidate table for a query shape"
+    )
+    p.add_argument("--n", type=int, required=True, help="total keys")
+    p.add_argument("--p", type=int, required=True, help="processors")
+    p.add_argument("--topology", default=None,
+                   help=f"machine shape ({', '.join(available_topologies())}; "
+                        "default crossbar)")
+    p.add_argument("--model", choices=sorted(_MODELS), default="cm5",
+                   help="cost-model preset (default cm5)")
+    p.add_argument("--sketch", action="store_true",
+                   help="price sketch-prefiltered variants too (as if the "
+                        "array maintained ingest-time sketches)")
+    p.add_argument("--hint", choices=("sorted", "degenerate"), default=None,
+                   help="distribution hint (sorted = Table 2 worst case)")
+    p.set_defaults(fn=_cmd_explain)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,102 @@
+"""Schedule-based analytic pricing: closed forms on any topology.
+
+:func:`repro.bench.model.predict` reproduces the paper's Tables 1-2 on the
+crossbar. The compute side of those formulas is topology-independent; only
+the collective prices change with the machine shape. So pricing a launch on
+a binomial tree, hypercube or two-level machine is the same skeleton with
+different per-collective constants — and every topology already knows its
+own prices, because lowering a collective yields a
+:class:`~repro.machine.topology.Schedule` whose ``cost`` is the simulated
+seconds it will charge. :func:`predict_on_topology` injects those lowered
+prices into the closed forms via the ``coll_cost``/``gather_cost`` hooks.
+
+On the crossbar the injection is skipped entirely and the legacy
+closed-form path runs unchanged, so existing crossbar predictions stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from ..bench.model import Prediction, predict
+from ..errors import ConfigurationError
+from ..machine.cost_model import CostModel
+from ..machine.topology import CrossbarTopology, Topology, resolve_topology
+
+__all__ = [
+    "CLOSED_FORM_ALGORITHMS",
+    "predict_on_topology",
+    "predict_prefilter",
+]
+
+#: Algorithms with a closed-form prediction (the planner's candidate pool).
+#: Hybrids and sort_based have no closed form — the paper states no bound
+#: for them — so the planner never proposes them and ``predicted_time``
+#: stays ``None`` when the user picks one explicitly.
+CLOSED_FORM_ALGORITHMS: tuple[str, ...] = (
+    "median_of_medians",
+    "bucket_based",
+    "randomized",
+    "fast_randomized",
+)
+
+
+def predict_on_topology(
+    algorithm: str,
+    n: int,
+    p: int,
+    model: CostModel,
+    topology: "Topology | str | None" = None,
+    table: int = 1,
+) -> Prediction:
+    """Closed-form estimate with collective prices from ``topology``.
+
+    ``topology`` may be a spec string (``"hypercube"``,
+    ``"two_level:cluster=8"``), a :class:`Topology` instance, or ``None``
+    for the default crossbar. Raises
+    :class:`~repro.errors.ConfigurationError` for algorithms without a
+    closed form (hybrids, ``sort_based``), exactly like ``predict``.
+    """
+    topo = resolve_topology(topology, p)
+    if isinstance(topo, CrossbarTopology):
+        # Legacy path: bit-identical to the pre-planner crossbar predictor.
+        return predict(algorithm, n, p, model, table)
+
+    def coll_cost(m: CostModel, _p: int) -> float:
+        return topo.combine_schedule(m, 1.0).cost
+
+    def gather_cost(m: CostModel, _p: int, words: float = 1.0) -> float:
+        return topo.gather_schedule(m, 0, words).cost
+
+    return predict(algorithm, n, p, model, table,
+                   coll_cost=coll_cost, gather_cost=gather_cost)
+
+
+def predict_prefilter(
+    algorithm: str,
+    n: int,
+    p: int,
+    model: CostModel,
+    topology: "Topology | str | None" = None,
+    eps: float = 0.01,
+    table: int = 1,
+) -> Prediction:
+    """Estimate for a sketch-prefiltered launch (planner ranking only).
+
+    The refine path allgathers each rank's ~``2/eps`` sketch summary, scans
+    the local shard once to carve the candidate window, then runs the
+    algorithm on ``n_eff ~ 2 * eps * n`` survivors. This estimate prices
+    those three stages; it is intentionally *not* used for
+    ``report.predicted_time`` (the report predicts the launch it actually
+    ran, and a prefiltered query runs a refine pass plus a smaller launch).
+    """
+    if not 0.0 < eps < 0.5:
+        raise ConfigurationError(f"prefilter eps must be in (0, 0.5), got {eps}")
+    topo = resolve_topology(topology, p)
+    summary_words = 2.0 / eps
+    exchange = topo.allgather_schedule(model, summary_words).cost
+    scan = (n / max(p, 1)) * model.compute.partition
+    n_eff = min(n, max(p, int(2.0 * eps * n) + 1))
+    inner = predict_on_topology(algorithm, n_eff, p, model, topo, table)
+    return Prediction(algorithm=algorithm, table=table,
+                      compute=scan + inner.compute,
+                      comm=exchange + inner.comm)

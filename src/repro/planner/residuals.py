@@ -1,0 +1,142 @@
+"""Self-calibration: per-(algorithm, topology, p-bucket) residual store.
+
+Closed-form predictions carry modelling error — leading constants are
+calibrated on one machine shape and the formulas are expected-case. The
+store closes the loop: every executed launch that carried a prediction
+reports ``(predicted, actual)`` here, keyed by algorithm, topology base
+name and a log2 bucket of ``p``, and the planner multiplies future
+predictions by the median observed ``actual / predicted`` ratio for the
+key. Medians over a bounded window make the correction robust to the odd
+outlier launch and let it track drift.
+
+Corrections are observable: each update sets the
+``repro.planner.correction`` gauge for its key and bumps the
+``repro.planner.mispredict`` counter when the *corrected* prediction was
+still off by more than :data:`MISPREDICT_THRESHOLD` relative error.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from collections import deque
+from contextlib import contextmanager
+
+from ..machine.topology import Topology, log2_ceil
+from ..obs.metrics import REGISTRY
+
+__all__ = [
+    "MISPREDICT_THRESHOLD",
+    "ResidualStore",
+    "default_store",
+    "reset_default_store",
+    "use_store",
+]
+
+#: Corrected-prediction relative error above which a launch counts as a
+#: misprediction (bumps ``repro.planner.mispredict``).
+MISPREDICT_THRESHOLD = 0.5
+
+#: Ratios remembered per key; medians over a short window track drift.
+_WINDOW = 32
+
+
+def _topology_key(topology: "Topology | str | None") -> str:
+    if topology is None:
+        return "crossbar"
+    if isinstance(topology, Topology):
+        return topology.name
+    return str(topology).split(":", 1)[0]
+
+
+class ResidualStore:
+    """Thread-safe map key -> recent ``actual / predicted`` ratios."""
+
+    def __init__(self, window: int = _WINDOW):
+        self._window = window
+        self._ratios: dict[tuple, deque] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key(algorithm: str, topology, p: int) -> tuple:
+        """p is bucketed by log2 so nearby machine widths share evidence."""
+        return (algorithm, _topology_key(topology), log2_ceil(max(p, 1)))
+
+    def correction(self, algorithm: str, topology, p: int) -> float:
+        """Multiplier for a fresh prediction (1.0 when no evidence yet)."""
+        with self._lock:
+            ratios = self._ratios.get(self.key(algorithm, topology, p))
+            if not ratios:
+                return 1.0
+            return statistics.median(ratios)
+
+    def observe(
+        self,
+        algorithm: str,
+        topology,
+        p: int,
+        predicted: float,
+        actual: float,
+    ) -> float:
+        """Record one launch; returns the corrected relative error."""
+        if predicted <= 0.0 or actual <= 0.0:
+            return 0.0
+        key = self.key(algorithm, topology, p)
+        with self._lock:
+            ratios = self._ratios.setdefault(key, deque(maxlen=self._window))
+            corrected = predicted * (statistics.median(ratios) if ratios
+                                     else 1.0)
+            ratios.append(actual / predicted)
+            new_correction = statistics.median(ratios)
+        rel_err = abs(corrected - actual) / actual
+        alg, topo_name, bucket = key
+        REGISTRY.gauge("repro.planner.correction", algorithm=alg,
+                       topology=topo_name,
+                       p_bucket=str(bucket)).set_value(new_correction)
+        if rel_err > MISPREDICT_THRESHOLD:
+            REGISTRY.counter("repro.planner.mispredict", algorithm=alg,
+                             topology=topo_name).inc()
+        return rel_err
+
+    def clone(self) -> "ResidualStore":
+        """An independent copy of the current evidence (benches use this
+        to isolate measurement arms from each other's feedback)."""
+        out = ResidualStore(window=self._window)
+        with self._lock:
+            for key, ratios in self._ratios.items():
+                out._ratios[key] = deque(ratios, maxlen=self._window)
+        return out
+
+    def snapshot(self) -> dict:
+        """Key -> (observations, median correction); for explain/debug."""
+        with self._lock:
+            return {k: (len(v), statistics.median(v))
+                    for k, v in self._ratios.items() if v}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ratios.clear()
+
+
+_DEFAULT = ResidualStore()
+_ACTIVE: list[ResidualStore] = [_DEFAULT]
+
+
+def default_store() -> ResidualStore:
+    """The store launches feed and the planner consults by default."""
+    return _ACTIVE[-1]
+
+
+def reset_default_store() -> None:
+    """Drop all accumulated evidence (tests; fresh benchmarks)."""
+    _ACTIVE[-1].clear()
+
+
+@contextmanager
+def use_store(store: ResidualStore):
+    """Temporarily swap the process-default store (tests, benches)."""
+    _ACTIVE.append(store)
+    try:
+        yield store
+    finally:
+        _ACTIVE.pop()

@@ -136,7 +136,11 @@ class SelectionService:
         :attr:`~repro.core.array.Machine.fork_count` stays put).
     plan:
         Default :class:`~repro.core.plan.SelectionPlan` for queries that
-        do not carry one.
+        do not carry one. ``None`` (the default) serves with
+        ``SelectionPlan(algorithm="auto")``: the query planner
+        (:mod:`repro.planner`) picks the predicted-fastest algorithm per
+        (array, machine shape), so serving traffic gets cost-model-driven
+        plan choice for free. Pass an explicit plan to pin behaviour.
     window:
         Coalescing window in seconds: how long the flusher holds newly
         arrived queries so concurrent tenants land in the same batched
@@ -192,6 +196,11 @@ class SelectionService:
         self.window = float(window)
         self.max_in_flight = int(max_in_flight)
         self.max_per_tenant = int(max_per_tenant)
+        if plan is None:
+            # Serving default: let the planner pick per (array, shape).
+            from ..core.plan import SelectionPlan
+
+            plan = SelectionPlan(algorithm="auto")
         self._session = Session(
             machine, plan=plan, cache=cache,
             max_cache_entries=max_cache_entries,

@@ -192,7 +192,8 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
             "ablation-delta", "ablation-partition", "multiselect", "obs",
-            "session", "backend", "pool", "stream", "topology", "serve",
+            "planner", "session", "backend", "pool", "stream", "topology",
+            "serve",
         }
 
     def test_scales(self):

@@ -13,7 +13,9 @@ import pytest
 import repro
 from repro.selection import STRATEGIES
 
-ALGORITHMS = sorted(STRATEGIES)
+# "auto" rides the same degenerate-shape legs: the planner must
+# never crash where the algorithms themselves must not.
+ALGORITHMS = sorted(STRATEGIES) + ["auto"]
 
 
 def oracle(data, k):

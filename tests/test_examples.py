@@ -28,4 +28,5 @@ def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "distributed_quantiles", "parallel_sort_pivot",
             "load_balance_demo", "streaming_ingest",
-            "topology_compare", "obs_quickstart"} <= names
+            "topology_compare", "obs_quickstart",
+            "planner_quickstart"} <= names

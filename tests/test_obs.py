@@ -361,11 +361,17 @@ class TestCostResiduals:
             .predicted_time is None
         assert data.select(5, algorithm="sort_based").predicted_time is None
 
-    def test_non_crossbar_topology_means_no_prediction(self):
+    def test_non_crossbar_topology_predicts_via_schedules(self):
+        # The planner PR generalised predict_simulated beyond the
+        # crossbar: any topology's lowered Schedule prices the closed
+        # forms, so routed shapes now predict and carry residuals too.
         machine = repro.Machine(n_procs=P, topology="hypercube")
         report = machine.generate(N, seed=1).select(5)
-        assert report.predicted_time is None
-        assert report.cost_residual is None
+        assert report.predicted_time is not None
+        assert report.predicted_time > 0
+        assert report.cost_residual == (
+            report.simulated_time - report.predicted_time
+        )
 
     def test_multi_rank_batches_do_not_predict(self):
         machine = repro.Machine(n_procs=P)
